@@ -1,0 +1,191 @@
+// Command kumquat synthesizes combiners for Unix commands and compiles
+// shell pipelines into data-parallel pipelines, reproducing the KumQuat
+// system (PPoPP 2022).
+//
+// Usage:
+//
+//	kumquat synth 'uniq -c'
+//	    Synthesize and print the combiner for one command.
+//
+//	kumquat plan "cat in.txt | tr -cs A-Za-z '\n' | sort | uniq -c"
+//	    Show the parallelization plan for a pipeline.
+//
+//	kumquat run -k 8 -input FILE "cat FILE | sort | uniq -c"
+//	    Execute a pipeline with k-way data parallelism (reads the named
+//	    input file from the host file system into the in-memory
+//	    environment first).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kumquat"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "synth":
+		err = runSynth(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
+	case "run":
+		err = runRun(os.Args[2:])
+	case "combine":
+		err = runCombine(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kumquat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  kumquat synth '<command>'
+  kumquat plan '<pipeline>'
+  kumquat run [-k N] [-input FILE]... '<pipeline>'
+  kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2`)
+}
+
+// runCombine applies a DSL combiner to two partial-output files — handy for
+// inspecting synthesized combiners by hand.
+func runCombine(args []string) error {
+	fs := flag.NewFlagSet("combine", flag.ExitOnError)
+	g := fs.String("g", "", "combiner in DSL form, e.g. \"(stitch2 ' ' add first a b)\"")
+	cmdSpec := fs.String("cmd", "cat", "command binding rerun/merge semantics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *g == "" || fs.NArg() != 2 {
+		return fmt.Errorf("combine needs -g and two file operands")
+	}
+	y1, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	y2, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	sys := kumquat.New(nil)
+	out, err := sys.Combine(*g, *cmdSpec, string(y1), string(y2))
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "synthesis random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("synth needs exactly one command argument")
+	}
+	sys := kumquat.NewWithOptions(nil, kumquat.Options{Seed: *seed})
+	start := time.Now()
+	res, err := sys.Synthesize(fs.Arg(0))
+	if res == nil {
+		return err
+	}
+	fmt.Printf("command:      %s\n", res.Spec)
+	fmt.Printf("search space: %d (= %d RecOp + %d StructOp + %d RunOp)\n",
+		res.Space.Total(), res.Space.Rec, res.Space.Struct, res.Space.Run)
+	fmt.Printf("rounds:       %d (%d observations, %v)\n",
+		res.Rounds, res.Observations, time.Since(start).Round(time.Millisecond))
+	if res.Err != nil {
+		fmt.Printf("unsupported:  %v\n", res.Err)
+		return nil
+	}
+	fmt.Printf("plausible:    %s\n", strings.Join(res.DisplayPlausible(), ", "))
+	fmt.Printf("combiner:     %s\n", res.Combiner)
+	return nil
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("plan needs exactly one pipeline argument")
+	}
+	sys := kumquat.New(nil)
+	plan, err := sys.Parallelize(fs.Arg(0) + "\n")
+	if err != nil {
+		return err
+	}
+	par, total, elim := plan.Counts()
+	fmt.Printf("parallelized %d/%d stages, %d combiners eliminated\n\n", par, total, elim)
+	for _, st := range plan.Stages() {
+		mode := "serial (no combiner)"
+		switch {
+		case st.Eliminated:
+			mode = "parallel, combiner eliminated (Theorem 5)"
+		case st.Parallel:
+			mode = "parallel"
+		case st.Sequential:
+			mode = "sequential (rerun-only combiner)"
+		}
+		fmt.Printf("  %-36s %s\n", st.Spec, mode)
+		if st.Combiner != "" {
+			fmt.Printf("  %-36s   combiner: %s\n", "", st.Combiner)
+		}
+	}
+	return nil
+}
+
+func runRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	k := fs.Int("k", 8, "parallelism degree")
+	var inputs multiFlag
+	fs.Var(&inputs, "input", "host file to load into the environment (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run needs exactly one pipeline argument")
+	}
+	env := kumquat.NewEnv()
+	for _, path := range inputs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		env.Register(path, string(data))
+	}
+	sys := kumquat.New(env)
+	plan, err := sys.Parallelize(fs.Arg(0) + "\n")
+	if err != nil {
+		return err
+	}
+	out, err := plan.Run(*k)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

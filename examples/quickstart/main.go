@@ -1,0 +1,46 @@
+// Quickstart: synthesize a combiner for one command and parallelize a tiny
+// pipeline — the one-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kumquat"
+)
+
+func main() {
+	env := kumquat.NewEnv()
+	env.Register("data.txt", "pear\napple\npear\nquince\napple\npear\n")
+	sys := kumquat.New(env)
+
+	// 1. Ask KumQuat for the combiner of a single command. The synthesizer
+	// treats "uniq -c" as a black box, generates input stream pairs, and
+	// keeps only the DSL candidates satisfying f(x1++x2) = g(f(x1),f(x2)).
+	res, err := sys.Synthesize("uniq -c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniq -c searched %d candidates and synthesized: %s\n\n",
+		res.Space.Total(), res.Combiner)
+
+	// 2. Compile a pipeline into its data-parallel version and run it.
+	plan, err := sys.Parallelize("cat data.txt | sort | uniq -c | sort -rn\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, total, elim := plan.Counts()
+	fmt.Printf("plan: %d/%d stages parallelized, %d combiners eliminated\n", par, total, elim)
+	for _, st := range plan.Stages() {
+		fmt.Printf("  %-12s combiner: %s\n", st.Spec, st.Combiner)
+	}
+
+	out, err := plan.Run(4) // 4-way data parallelism
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n4-way parallel output:\n%s", out)
+
+	serial, _ := plan.RunSerial()
+	fmt.Printf("\nmatches serial output: %v\n", out == serial)
+}

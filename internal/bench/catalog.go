@@ -1,0 +1,342 @@
+// Package bench contains the reproduction of the paper's evaluation: the
+// catalog of 70 benchmark scripts (4 analytics-mts, 10 oneliners, 22 poets,
+// 34 unix50) reconstructed from Tables 3 and 10, deterministic synthetic
+// input generators standing in for the paper's datasets, and the harness
+// that regenerates every results table (Tables 1 and 3–10).
+package bench
+
+// ScriptSpec is one benchmark script with the paper's published per-script
+// numbers for comparison.
+type ScriptSpec struct {
+	Suite string // analytics-mts, oneliners, poets, unix50
+	Name  string // file name, e.g. "2.sh"
+	Title string // descriptive title from the paper's tables
+	// Source is the reconstructed shell text. Stages pinned by Table 10 are
+	// verbatim; the remainder is reconstructed from the public sources the
+	// paper cites, constrained by Table 3's per-pipeline stage counts.
+	Source string
+	// Input names the generator (see datagen.go) that registers this
+	// script's input files.
+	Input string
+	// PaperStages is Table 3's total stage count n for the script.
+	PaperStages int
+	// PaperParallelized is Table 3's parallelized stage count k.
+	PaperParallelized int
+	// PaperEliminated is Table 3's eliminated combiner count.
+	PaperEliminated int
+}
+
+// Catalog returns all 70 benchmark scripts.
+func Catalog() []ScriptSpec {
+	var all []ScriptSpec
+	all = append(all, analyticsMTS()...)
+	all = append(all, oneliners()...)
+	all = append(all, poets()...)
+	all = append(all, unix50()...)
+	return all
+}
+
+func analyticsMTS() []ScriptSpec {
+	return []ScriptSpec{
+		{
+			Suite: "analytics-mts", Name: "1.sh", Title: "vehicles per day",
+			Source: `cat in/mts.csv | sed 's/T..:..:..//' | cut -d ',' -f 1,3 | sort -u | cut -d ',' -f 1 | sort | uniq -c | awk -v OFS="\t" "{print \$2,\$1}"` + "\n",
+			Input:  "mts", PaperStages: 7, PaperParallelized: 7, PaperEliminated: 3,
+		},
+		{
+			Suite: "analytics-mts", Name: "2.sh", Title: "vehicle days on road",
+			Source: `cat in/mts.csv | sed 's/T..:..:..//' | cut -d ',' -f 3,1 | sort -u | cut -d ',' -f 2 | sort | uniq -c | sort -k1n | awk -v OFS="\t" "{print \$2,\$1}"` + "\n",
+			Input:  "mts", PaperStages: 8, PaperParallelized: 8, PaperEliminated: 3,
+		},
+		{
+			Suite: "analytics-mts", Name: "3.sh", Title: "vehicle hours on road",
+			Source: `cat in/mts.csv | sed 's/T\(..\):..:../,\1/' | cut -d ',' -f 1,2,4 | sort -u | cut -d ',' -f 3 | sort | uniq -c | sort -k1n | awk -v OFS="\t" "{print \$2,\$1}"` + "\n",
+			Input:  "mts", PaperStages: 8, PaperParallelized: 8, PaperEliminated: 3,
+		},
+		{
+			Suite: "analytics-mts", Name: "4.sh", Title: "hours monitored per day",
+			Source: `cat in/mts.csv | sed 's/T\(..\):..:../,\1/' | cut -d ',' -f 1,2 | sort -u | cut -d ',' -f 1 | sort | uniq -c | awk -v OFS="\t" "{print \$2,\$1}"` + "\n",
+			Input:  "mts", PaperStages: 7, PaperParallelized: 7, PaperEliminated: 3,
+		},
+	}
+}
+
+func oneliners() []ScriptSpec {
+	return []ScriptSpec{
+		{
+			Suite: "oneliners", Name: "bi-grams.sh", Title: "adjacent word pairs",
+			Source: `cat in/text.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | bigrams_aux | sort | uniq` + "\n",
+			Input:  "text", PaperStages: 5, PaperParallelized: 3, PaperEliminated: 0,
+		},
+		{
+			Suite: "oneliners", Name: "diff.sh", Title: "compare streams",
+			Source: "mkfifo s1 s2\n" +
+				`cat in/text.txt | tr [:lower:] [:upper:] | sort > s1` + "\n" +
+				`cat in/text2.txt | tr [:upper:] [:lower:] | sort > s2` + "\n" +
+				"diff -B s1 s2\n" +
+				"rm s1 s2\n",
+			Input: "twotexts", PaperStages: 7, PaperParallelized: 4, PaperEliminated: 2,
+		},
+		{
+			Suite: "oneliners", Name: "nfa-regex.sh", Title: "backreference regex match",
+			Source: `cat in/text.txt | tr A-Z a-z | grep '\(.\).*\1\(.\).*\2\(.\).*\3\(.\).*\4'` + "\n",
+			Input:  "text", PaperStages: 2, PaperParallelized: 2, PaperEliminated: 1,
+		},
+		{
+			Suite: "oneliners", Name: "set-diff.sh", Title: "set difference",
+			Source: "mkfifo s1 s2\n" +
+				`cat in/text.txt | cut -d ' ' -f 1 | tr [:lower:] [:upper:] | sort > s1` + "\n" +
+				`cat in/text2.txt | tr [:lower:] [:upper:] | sort > s2` + "\n" +
+				"comm -23 s1 s2\n" +
+				"rm s1 s2\n",
+			Input: "twotexts", PaperStages: 8, PaperParallelized: 5, PaperEliminated: 3,
+		},
+		{
+			Suite: "oneliners", Name: "shortest-scripts.sh", Title: "15 shortest shell scripts",
+			Source: `cat in/files.txt | xargs file | grep "shell script" | cut -d: -f1 | xargs -L 1 wc -l | grep -v '^0$' | sort -n | head -15` + "\n",
+			Input:  "files", PaperStages: 7, PaperParallelized: 6, PaperEliminated: 5,
+		},
+		{
+			Suite: "oneliners", Name: "sort-sort.sh", Title: "double sort",
+			Source: `cat in/text.txt | tr A-Z a-z | sort | sort -r` + "\n",
+			Input:  "text", PaperStages: 3, PaperParallelized: 3, PaperEliminated: 1,
+		},
+		{
+			Suite: "oneliners", Name: "sort.sh", Title: "sort",
+			Source: `cat in/text.txt | sort` + "\n",
+			Input:  "text", PaperStages: 1, PaperParallelized: 1, PaperEliminated: 0,
+		},
+		{
+			Suite: "oneliners", Name: "spell.sh", Title: "Bentley's spell checker",
+			Source: `dict=${dict:-dict.sorted}` + "\n" +
+				`cat in/text.txt | iconv -f utf-8 -t ascii//translit | col -bx | tr -cs A-Za-z '\n' | tr A-Z a-z | tr -d '[:punct:]' | sort | uniq | LC_COLLATE=C comm -23 - $dict` + "\n",
+			Input: "text", PaperStages: 8, PaperParallelized: 6, PaperEliminated: 3,
+		},
+		{
+			Suite: "oneliners", Name: "top-n.sh", Title: "100 most frequent words",
+			Source: `cat in/text.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c | sort -rn | sed 100q` + "\n",
+			Input:  "text", PaperStages: 6, PaperParallelized: 4, PaperEliminated: 1,
+		},
+		{
+			Suite: "oneliners", Name: "wf.sh", Title: "word frequencies (§2 example)",
+			Source: `cat in/text.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c | sort -rn` + "\n",
+			Input:  "text", PaperStages: 5, PaperParallelized: 4, PaperEliminated: 1,
+		},
+	}
+}
+
+// poetsHead is the shared ls|sed|xargs-cat prefix of the Unix-for-Poets
+// scripts: list the book files, attach the directory, concatenate.
+const poetsHead = `ls pg | sed "s;^;pg/;" | xargs cat`
+
+func poets() []ScriptSpec {
+	return []ScriptSpec{
+		{
+			Suite: "poets", Name: "1_1.sh", Title: "count_words",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | sort | uniq -c` + "\n",
+			Input:  "books", PaperStages: 6, PaperParallelized: 4, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "2_1.sh", Title: "merge_upper",
+			Source: poetsHead + ` | tr '[a-z]' '[A-Z]' | tr -sc '[A-Z]' '[\012*]' | sort | uniq -c` + "\n",
+			Input:  "books", PaperStages: 7, PaperParallelized: 5, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "2_2.sh", Title: "count_vowel_seq",
+			Source: poetsHead + ` | tr 'a-z' '[A-Z]' | tr -sc 'AEIOU' '[\012*]' | sort | uniq -c` + "\n",
+			Input:  "books", PaperStages: 7, PaperParallelized: 5, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "3_1.sh", Title: "sort (word frequency)",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | sort | uniq -c | sort -nr` + "\n",
+			Input:  "books", PaperStages: 7, PaperParallelized: 5, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "3_2.sh", Title: "sort_words_by_folding",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | sort | uniq -c | sort -f` + "\n",
+			Input:  "books", PaperStages: 7, PaperParallelized: 5, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "3_3.sh", Title: "sort_words_by_rhyming",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | rev | sort | rev | uniq -c | sort -nr` + "\n",
+			Input:  "books", PaperStages: 9, PaperParallelized: 7, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "4_3.sh", Title: "bigrams",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' > tmp.words` + "\n" +
+				"cat tmp.words | tail +2 > tmp.nextwords\n" +
+				"paste tmp.words tmp.nextwords | sort | uniq -c\n",
+			Input: "books", PaperStages: 8, PaperParallelized: 4, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "4_3b.sh", Title: "count_trigrams",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' > tmp.words` + "\n" +
+				"cat tmp.words | tail +2 > tmp.nextwords\n" +
+				"cat tmp.words | tail +3 > tmp.nextwords2\n" +
+				"paste tmp.words tmp.nextwords tmp.nextwords2 | sort | uniq -c\n",
+			Input: "books", PaperStages: 9, PaperParallelized: 4, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "6_1.sh", Title: "trigram_rec",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | grep 'the land of' | sort | sed 5q` + "\n" +
+				poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | grep 'And he said' | sort | sed 5q` + "\n",
+			Input: "books", PaperStages: 14, PaperParallelized: 8, PaperEliminated: 4,
+		},
+		{
+			Suite: "poets", Name: "6_1_1.sh", Title: "uppercase_by_token",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | grep -c '^[A-Z]'` + "\n",
+			Input:  "books", PaperStages: 5, PaperParallelized: 3, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "6_1_2.sh", Title: "uppercase_by_type",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | sort -u | grep -c '^[A-Z]'` + "\n",
+			Input:  "books", PaperStages: 6, PaperParallelized: 4, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "6_2.sh", Title: "4letter_words",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | tr A-Z a-z > tmp.words` + "\n" +
+				`cat tmp.words | tr -sc '[A-Z][a-z]' '[\012*]' | tr A-Z a-z | sort | uniq | sed 100q | grep -c '^....$'` + "\n",
+			Input: "books", PaperStages: 11, PaperParallelized: 7, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "6_3.sh", Title: "words_no_vowels",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | grep -vi '[aeiou]' | sort | uniq -c` + "\n",
+			Input:  "books", PaperStages: 7, PaperParallelized: 5, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "6_4.sh", Title: "1syllable_words",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | grep -i '^[^aeiou]*[aeiou][^aeiou]*$' | sort | uniq -c | sed 5q` + "\n",
+			Input:  "books", PaperStages: 8, PaperParallelized: 5, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "6_5.sh", Title: "2syllable_words",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' ' [\012*]' | grep -i '^[^aeiou]*[aeiou][^aeiou]*[aeiou][^aeiou]$' | sort | uniq -c | sed 5q` + "\n",
+			Input:  "books", PaperStages: 8, PaperParallelized: 5, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "6_7.sh", Title: "verses_2om_3om_2instances",
+			Source: poetsHead + ` | grep -c 'light.*light'` + "\n" +
+				poetsHead + ` | grep -c 'light.*light.*light'` + "\n" +
+				poetsHead + ` | grep 'light.*light' | grep -vc 'light.*light.*light'` + "\n",
+			Input: "books", PaperStages: 13, PaperParallelized: 10, PaperEliminated: 7,
+		},
+		{
+			Suite: "poets", Name: "7_2.sh", Title: "count_consonant_seq",
+			Source: poetsHead + ` | tr 'a-z' '[A-Z]' | tr -sc 'BCDFGHJKLMNPQRSTVWXYZ' '[\012*]' | sort | uniq -c` + "\n",
+			Input:  "books", PaperStages: 7, PaperParallelized: 5, PaperEliminated: 2,
+		},
+		{
+			Suite: "poets", Name: "8.2_1.sh", Title: "vowel_sequencies_gr_1K",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | tr -sc 'AEIOUaeiou' '[\012*]' | sort | uniq -c | awk "\$1 >= 1000"` + "\n",
+			Input:  "books", PaperStages: 8, PaperParallelized: 5, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "8.2_2.sh", Title: "bigrams_appear_twice",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' > tmp.words` + "\n" +
+				"cat tmp.words | tail +2 > tmp.nextwords\n" +
+				"paste tmp.words tmp.nextwords | sort | uniq -c > tmp.bigrams\n" +
+				`cat tmp.bigrams | awk "\$1 == 2 {print \$2, \$3}"` + "\n",
+			Input: "books", PaperStages: 9, PaperParallelized: 4, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "8.3_2.sh", Title: "find_anagrams",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' > tmp.words` + "\n" +
+				"cat tmp.words | sort -u > tmp.types\n" +
+				"cat tmp.types | rev > tmp.rev\n" +
+				`cat tmp.rev | sort | uniq -c | awk "\$1 >= 2 {print \$2}"` + "\n",
+			Input: "books", PaperStages: 9, PaperParallelized: 7, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "8.3_3.sh", Title: "compare_exodus_genesis",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | sort -u > tmp.ex.types` + "\n" +
+				`cat in/genesis.txt | tr -sc '[A-Z][a-z]' '[\012*]' | sort -u > tmp.gen.types` + "\n" +
+				"cat tmp.gen.types | comm -23 - tmp.ex.types | sort | head\n",
+			Input: "books", PaperStages: 10, PaperParallelized: 6, PaperEliminated: 1,
+		},
+		{
+			Suite: "poets", Name: "8_1.sh", Title: "sort_words_by_n_syllables",
+			Source: poetsHead + ` | tr -sc '[A-Z][a-z]' '[\012*]' | sort -u > tmp.words` + "\n" +
+				`cat tmp.words | tr -sc '[AEIOUaeiou\012]' ' ' | awk '{print NF}' > tmp.syl` + "\n" +
+				"paste tmp.syl tmp.words | sort -n | sed 5q\n",
+			Input: "books", PaperStages: 10, PaperParallelized: 6, PaperEliminated: 2,
+		},
+	}
+}
+
+func unix50() []ScriptSpec {
+	u := func(name, title, src, input string, n, k, e int) ScriptSpec {
+		return ScriptSpec{Suite: "unix50", Name: name, Title: title,
+			Source: src + "\n", Input: input,
+			PaperStages: n, PaperParallelized: k, PaperEliminated: e}
+	}
+	return []ScriptSpec{
+		u("1.sh", "1.0: extract last name",
+			`cat in/names.txt | cut -d ' ' -f 2`, "names", 1, 1, 0),
+		u("2.sh", "1.1: extract names and sort",
+			`cat in/names.txt | cut -d ' ' -f 2 | sort`, "names", 2, 2, 1),
+		u("3.sh", "1.2: extract names and sort",
+			`cat in/names.txt | head -n 2 | cut -d ' ' -f 2`, "names", 2, 1, 0),
+		u("4.sh", "1.3: sort top first names",
+			`cat in/names.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn`, "names", 4, 4, 1),
+		u("5.sh", "2.1: all Unix utilities",
+			`cat in/history.tsv | cut -d ' ' -f 4 | tr -d ','`, "history", 2, 2, 1),
+		u("6.sh", "3.1: first letter of last names",
+			`cat in/names.txt | cut -d ' ' -f 2 | cut -c 1-1 | sort | uniq -c`, "names", 4, 4, 2),
+		u("7.sh", "4.1: number of rounds",
+			`cat in/chess.txt | grep '\.' | cut -d '.' -f 1 | wc -l`, "chess", 3, 3, 2),
+		u("8.sh", "4.2: pieces captured",
+			`cat in/chess.txt | tr ' ' '\n' | grep 'x' | cut -d 'x' -f 1 | wc -l`, "chess", 4, 4, 3),
+		u("9.sh", "4.3: pieces captured with pawn",
+			`cat in/chess.txt | tr ' ' '\n' | grep 'x' | cut -d '.' -f 2 | grep -v '[KQRBN]' | cut -c 1-1 | wc -l`, "chess", 6, 6, 5),
+		u("10.sh", "4.4: histogram by piece",
+			`cat in/chess.txt | tr ' ' '\n' | grep 'x' | grep '\.' | cut -d '.' -f 2 | grep '[KQRBN]' | cut -c 1-1 | sort | uniq -c | sort -rn`, "chess", 9, 9, 6),
+		u("11.sh", "4.5: histogram by piece and pawn",
+			`cat in/chess.txt | tr ' ' '\n' | grep 'x' | grep '\.' | cut -d '.' -f 2 | cut -c 1-1 | tr '[a-z]' 'P' | sort | uniq -c | sort -rn`, "chess", 9, 9, 6),
+		u("12.sh", "4.6: piece used most",
+			`cat in/chess.txt | tr ' ' '\n' | grep 'x' | cut -d '.' -f 2 | grep '[KQRBN]' | cut -c 1-1 | sort | uniq -c | head -n 3 | tail -n 1`, "chess", 9, 8, 5),
+		u("13.sh", "5.1: extract hellow world",
+			`cat in/source.txt | grep 'print' | cut -d '"' -f 2 | cut -c 1-12`, "source", 3, 3, 2),
+		u("14.sh", "6.1: order bodies",
+			`cat in/bodies.txt | awk "{print \$2, \$0}" | sort -n | cut -d ' ' -f 2`, "bodies", 3, 3, 1),
+		u("15.sh", "7.1: number of versions",
+			`cat in/history.tsv | cut -f 1 | grep 'AT&T' | wc -l`, "history", 3, 3, 2),
+		u("16.sh", "7.2: most frequent machine",
+			`cat in/history.tsv | cut -f 2 | sort | uniq -c | sort -rn | head -n 1 | tr -s ' ' '\n' | tail -n 1`, "history", 7, 6, 1),
+		u("17.sh", "7.3: decades unix released",
+			`cat in/history.tsv | cut -f 4 | sort | cut -c 3-3 | uniq | sed s/\$/'0s'/`, "history", 5, 5, 2),
+		u("18.sh", "8.1: count unix birth-year",
+			`cat in/history.tsv | tr ' ' '\n' | grep 1969 | wc -l`, "history", 3, 3, 2),
+		u("19.sh", "8.2: location office",
+			`cat in/offices.txt | grep 'Bell' | awk 'length <= 45' | cut -d ',' -f 1 | awk "{\$1=\$1};1"`, "offices", 4, 4, 3),
+		u("20.sh", "8.3: four most involved",
+			`cat in/credits.txt | grep '(' | cut -d '(' -f 2 | cut -d ')' -f 1 | fmt -w1`, "credits", 4, 4, 3),
+		u("21.sh", "8.4: longest words w/o hyphens",
+			`cat in/text.txt | tr -c "[a-z][A-Z]" '\n' | sort -u | awk "length >= 16"`, "text", 3, 3, 1),
+		u("23.sh", "9.1: extract word PORT",
+			`cat in/poem.txt | fmt -w1 | grep '[A-Z]' | tr '[a-z]' '\n' | grep 'P' | tr -d '\n' | cut -c 1-4`, "poem", 6, 6, 4),
+		u("24.sh", "9.2: extract word BELL",
+			`cat in/poem.txt | fmt -w1 | cut -c 1-4`, "poem", 2, 2, 1),
+		u("25.sh", "9.3: animal decorate",
+			`cat in/poem.txt | cut -c 1-2 | tr -d '\n'`, "poem", 2, 2, 1),
+		u("26.sh", "9.4: four corners",
+			`cat in/poem.txt | grep '"' | cut -d '"' -f 2 | sort -u | cut -c 1-1 | head`, "poem", 5, 4, 2),
+		u("28.sh", "9.6: follow directions",
+			`cat in/poem.txt | sed 1d | grep 'N' | cut -c 1-4 | tr -c '[A-Z]' '\n' | sort | uniq | head | tail -n 1 | sed 2d | head`, "poem", 10, 6, 3),
+		u("29.sh", "9.7: four corners",
+			`cat in/poem.txt | head | grep 'E' | cut -c 1-2 | tail +2`, "poem", 4, 2, 1),
+		u("30.sh", "9.8: TELE-communications",
+			`cat in/poem.txt | tr -c '[a-z][A-Z]' '\n' | grep '[A-Z]' | sort | uniq | head | sed 1d | tail +2 | head`, "poem", 8, 4, 2),
+		u("31.sh", "9.9",
+			`cat in/poem.txt | tr -c '[a-z][A-Z]' '\n' | grep '[A-Z]' | sort | uniq | head | sed 1d | sed 2d | tail +2 | head`, "poem", 9, 4, 2),
+		u("32.sh", "10.1: count recipients",
+			`cat in/mail.txt | tr -s ' ' '\n' | grep '@' | cut -d '@' -f 1 | wc -l`, "mail", 4, 3, 2),
+		u("33.sh", "10.2: list recipients",
+			`cat in/mail.txt | tr -s ' ' '\n' | grep '@' | sort -u`, "mail", 3, 2, 1),
+		u("34.sh", "10.3: extract username",
+			`cat in/mail.txt | grep '@' | cut -d '@' -f 1 | cut -d ':' -f 2 | fmt -w1 | sort | uniq | tr '[A-Z]' '[a-z]'`, "mail", 7, 7, 4),
+		u("35.sh", "11.1: year received medal",
+			`cat in/awards.txt | grep 'UNIX' | cut -c 1-4`, "awards", 2, 2, 1),
+		u("36.sh", "11.2: most repeated first name",
+			`cat in/names.txt | cut -d ' ' -f 1 | tr '[A-Z]' '[a-z]' | sort | uniq -c | sort -rn | head -n 1 | tr -s ' ' '\n' | tail -n 1`, "names", 8, 7, 2),
+	}
+}

@@ -1,0 +1,85 @@
+package dsl
+
+import "strings"
+
+// CombineK merges k parallel output substreams with the synthesized
+// combiner, generalizing the binary combiner per §3.5 "Combining Multiple
+// Substreams":
+//
+//   - concat combines all substreams at once ("cat $*"),
+//   - merge combines all substreams with one k-way merge
+//     ("sort -m <flags> $*"),
+//   - rerun concatenates all substreams and re-executes the command once,
+//   - every other combiner is applied pairwise, folding left until one
+//     substream remains.
+//
+// Empty substreams (a chunk with no lines, or a command that produced no
+// output for its chunk) are identity elements for stream combination and
+// are skipped before folding.
+func CombineK(env *Env, c Candidate, outs []string) (string, error) {
+	nonEmpty := outs[:0:0]
+	for _, o := range outs {
+		if o != "" {
+			nonEmpty = append(nonEmpty, o)
+		}
+	}
+	if c.Swap {
+		for i, j := 0, len(nonEmpty)-1; i < j; i, j = i+1, j-1 {
+			nonEmpty[i], nonEmpty[j] = nonEmpty[j], nonEmpty[i]
+		}
+	}
+	switch c.Op.(type) {
+	case Concat:
+		return strings.Join(nonEmpty, ""), nil
+	case Merge:
+		if env == nil || env.Merge == nil {
+			return "", evalErr(c.Op, "no merge comparator bound in Env")
+		}
+		return env.Merge.MergeStreams(nonEmpty...), nil
+	case Rerun:
+		if env == nil || env.RunF == nil {
+			return "", evalErr(c.Op, "no command bound in Env")
+		}
+		return env.RunF(strings.Join(nonEmpty, ""))
+	}
+	if len(nonEmpty) == 0 {
+		return "", nil
+	}
+	acc := nonEmpty[0]
+	for _, next := range nonEmpty[1:] {
+		v, err := c.Op.Eval(env, acc, next)
+		if err != nil {
+			return "", err
+		}
+		acc = v
+	}
+	return acc, nil
+}
+
+// CombineKPairwise is the ablation baseline: always fold pairwise, even for
+// concat/merge/rerun where a simultaneous k-way combine is available.
+func CombineKPairwise(env *Env, c Candidate, outs []string) (string, error) {
+	nonEmpty := outs[:0:0]
+	for _, o := range outs {
+		if o != "" {
+			nonEmpty = append(nonEmpty, o)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return "", nil
+	}
+	if c.Swap {
+		for i, j := 0, len(nonEmpty)-1; i < j; i, j = i+1, j-1 {
+			nonEmpty[i], nonEmpty[j] = nonEmpty[j], nonEmpty[i]
+		}
+	}
+	acc := nonEmpty[0]
+	for _, next := range nonEmpty[1:] {
+		v, err := c.Op.Eval(env, acc, next)
+		if err != nil {
+			return "", err
+		}
+		acc = v
+	}
+	return acc, nil
+}

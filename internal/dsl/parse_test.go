@@ -1,0 +1,72 @@
+package dsl
+
+import "testing"
+
+func TestParseCandidateBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+	}{
+		{"concat", "(concat a b)"},
+		{"(concat a b)", "(concat a b)"},
+		{"(concat b a)", "(concat b a)"},
+		{`(back '\n' add a b)`, `(back '\n' add a b)`},
+		{`back '\n' add`, `(back '\n' add a b)`},
+		{"(stitch first a b)", "(stitch first a b)"},
+		{"(stitch2 ' ' add first a b)", "(stitch2 ' ' add first a b)"},
+		{"(offset ' ' second a b)", "(offset ' ' second a b)"},
+		{`(fuse ',' concat b a)`, `(fuse ',' concat b a)`},
+		{"(rerun a b)", "(rerun a b)"},
+		{"(merge a b)", "(merge a b)"},
+		{"merge('-rn') a b", "(merge a b)"}, // flags bind via Env, not the AST
+		{`(front '\t' (back ',' add) a b)`, `(front '\t' back ',' add a b)`},
+	}
+	for _, c := range cases {
+		got, err := ParseCandidate(c.in)
+		if err != nil {
+			t.Errorf("ParseCandidate(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("ParseCandidate(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseCandidateErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "nope", "(concat a b", "back add", "stitch2 ' ' add",
+		"(concat a a)", "concat a b extra", "back 'xy' add",
+	} {
+		if _, err := ParseCandidate(bad); err == nil {
+			t.Errorf("ParseCandidate(%q) should fail", bad)
+		}
+	}
+}
+
+// TestParseRoundTrip: every enumerated candidate survives
+// String → ParseCandidate → String.
+func TestParseRoundTrip(t *testing.T) {
+	cands := Enumerate(4, []Delim{'\n', ' '})
+	for _, c := range cands {
+		s := c.String()
+		back, err := ParseCandidate(s)
+		if err != nil {
+			t.Fatalf("round trip parse of %s: %v", s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("round trip of %s gave %s", s, back.String())
+		}
+	}
+}
+
+func TestParsedCandidateEvaluates(t *testing.T) {
+	c, err := ParseCandidate("(stitch2 ' ' add first a b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Eval(nil, "      2 pear\n", "      3 pear\n")
+	if err != nil || got != "      5 pear\n" {
+		t.Errorf("parsed combiner eval = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,160 @@
+package dsl
+
+import (
+	"math/big"
+	"strings"
+
+	"kumquat/internal/textio"
+)
+
+// Add is numeric addition: L(add) = [0-9]+, add y1 y2 ⇒ intToStr(i1+i2).
+// Arbitrary-precision so that long generated digit strings cannot overflow.
+type Add struct{}
+
+func (Add) Class() Class                   { return RecOpClass }
+func (Add) Size() int                      { return 3 }
+func (Add) String() string                 { return "add" }
+func (Add) InDomain(_ *Env, y string) bool { return textio.AllDigits(y) }
+
+func (a Add) Eval(_ *Env, y1, y2 string) (string, error) {
+	if !textio.AllDigits(y1) || !textio.AllDigits(y2) {
+		return "", evalErr(a, "operand not a digit string")
+	}
+	i1, _ := new(big.Int).SetString(y1, 10)
+	i2, _ := new(big.Int).SetString(y2, 10)
+	return new(big.Int).Add(i1, i2).String(), nil
+}
+
+// Concat is string concatenation: concat y1 y2 ⇒ y1 ++ y2. L = String.
+type Concat struct{}
+
+func (Concat) Class() Class                   { return RecOpClass }
+func (Concat) Size() int                      { return 3 }
+func (Concat) String() string                 { return "concat" }
+func (Concat) InDomain(_ *Env, _ string) bool { return true }
+
+func (Concat) Eval(_ *Env, y1, y2 string) (string, error) { return y1 + y2, nil }
+
+// First selects the left operand: first y1 y2 ⇒ y1. L = String.
+type First struct{}
+
+func (First) Class() Class                   { return RecOpClass }
+func (First) Size() int                      { return 3 }
+func (First) String() string                 { return "first" }
+func (First) InDomain(_ *Env, _ string) bool { return true }
+
+func (First) Eval(_ *Env, y1, _ string) (string, error) { return y1, nil }
+
+// Second selects the right operand: second y1 y2 ⇒ y2. L = String.
+type Second struct{}
+
+func (Second) Class() Class                   { return RecOpClass }
+func (Second) Size() int                      { return 3 }
+func (Second) String() string                 { return "second" }
+func (Second) InDomain(_ *Env, _ string) bool { return true }
+
+func (Second) Eval(_ *Env, _, y2 string) (string, error) { return y2, nil }
+
+// Front strips delimiter D from the front of both operands, applies B, and
+// re-attaches D: L(front d b) = {d ++ y | y ∈ L(b)}.
+type Front struct {
+	D Delim
+	B Op
+}
+
+func (f Front) Class() Class   { return RecOpClass }
+func (f Front) Size() int      { return 1 + f.B.Size() }
+func (f Front) String() string { return "front " + f.D.String() + " " + f.B.String() }
+
+func (f Front) InDomain(env *Env, y string) bool {
+	return len(y) > 0 && y[0] == byte(f.D) && f.B.InDomain(env, y[1:])
+}
+
+func (f Front) Eval(env *Env, y1, y2 string) (string, error) {
+	if len(y1) == 0 || y1[0] != byte(f.D) || len(y2) == 0 || y2[0] != byte(f.D) {
+		return "", evalErr(f, "operand lacks front delimiter")
+	}
+	v, err := f.B.Eval(env, y1[1:], y2[1:])
+	if err != nil {
+		return "", err
+	}
+	return string(f.D) + v, nil
+}
+
+// Back strips delimiter D from the back of both operands, applies B, and
+// re-attaches D: L(back d b) = {y ++ d | y ∈ L(b)}. (back '\n' add) is the
+// paper's combiner for wc -l and grep -c.
+type Back struct {
+	D Delim
+	B Op
+}
+
+func (b Back) Class() Class   { return RecOpClass }
+func (b Back) Size() int      { return 1 + b.B.Size() }
+func (b Back) String() string { return "back " + b.D.String() + " " + b.B.String() }
+
+func (b Back) InDomain(env *Env, y string) bool {
+	return len(y) > 0 && y[len(y)-1] == byte(b.D) && b.B.InDomain(env, y[:len(y)-1])
+}
+
+func (b Back) Eval(env *Env, y1, y2 string) (string, error) {
+	n1, n2 := len(y1), len(y2)
+	if n1 == 0 || y1[n1-1] != byte(b.D) || n2 == 0 || y2[n2-1] != byte(b.D) {
+		return "", evalErr(b, "operand lacks back delimiter")
+	}
+	v, err := b.B.Eval(env, y1[:n1-1], y2[:n2-1])
+	if err != nil {
+		return "", err
+	}
+	return v + string(b.D), nil
+}
+
+// Fuse applies B piecewise to the D-separated elements of its operands,
+// which must contain the same number of elements, and joins the results
+// with D. The domain requires at least two elements, each in L(b); empty
+// elements are admitted when L(b) admits them — slightly wider than
+// Definition B.1's y1 ≠ nil, yk ≠ nil, matching the reference
+// implementation's behaviour visible in Table 10, where (fuse '\n' first)
+// is plausible for head -n 1 even though its outputs end with the
+// delimiter.
+type Fuse struct {
+	D Delim
+	B Op
+}
+
+func (f Fuse) Class() Class   { return RecOpClass }
+func (f Fuse) Size() int      { return 1 + f.B.Size() }
+func (f Fuse) String() string { return "fuse " + f.D.String() + " " + f.B.String() }
+
+func (f Fuse) InDomain(env *Env, y string) bool {
+	parts := strings.Split(y, string(f.D))
+	if len(parts) < 2 {
+		return false
+	}
+	for _, p := range parts {
+		if !f.B.InDomain(env, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f Fuse) Eval(env *Env, y1, y2 string) (string, error) {
+	p1 := strings.Split(y1, string(f.D))
+	p2 := strings.Split(y2, string(f.D))
+	if len(p1) < 2 || len(p2) < 2 {
+		return "", evalErr(f, "operand has fewer than two elements")
+	}
+	if len(p1) != len(p2) {
+		return "", evalErr(f, "element counts differ")
+	}
+	out := make([]string, len(p1))
+	for i := range p1 {
+		v, err := f.B.Eval(env, p1[i], p2[i])
+		if err != nil {
+			return "", err
+		}
+		out[i] = v
+	}
+	return strings.Join(out, string(f.D)), nil
+}

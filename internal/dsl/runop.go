@@ -1,0 +1,57 @@
+package dsl
+
+// Rerun re-executes the command on the concatenation of the parallel
+// outputs: rerun_f y1 y2 ⇒ f(y1 ++ y2). Always a correct combiner for
+// commands that are idempotent over their own output shape (tr -s, sort,
+// head); the pipeline planner may decide that a rerun-combined stage is not
+// worth parallelizing (§2).
+type Rerun struct{}
+
+func (Rerun) Class() Class                   { return RunOpClass }
+func (Rerun) Size() int                      { return 3 }
+func (Rerun) String() string                 { return "rerun" }
+func (Rerun) InDomain(_ *Env, _ string) bool { return true }
+
+func (r Rerun) Eval(env *Env, y1, y2 string) (string, error) {
+	if env == nil || env.RunF == nil {
+		return "", evalErr(r, "no command bound in Env")
+	}
+	return env.RunF(y1 + y2)
+}
+
+// Merge invokes the Unix merge ("sort -m <flags>") on two pre-sorted
+// streams. Its legality domain is the set of streams sorted under the
+// comparator, so it is only plausible for commands whose outputs are
+// sorted.
+type Merge struct{}
+
+func (Merge) Class() Class { return RunOpClass }
+func (Merge) Size() int    { return 3 }
+
+func (Merge) String() string { return "merge" }
+
+// DisplayString renders the merge with its flags, e.g. "merge('-rn')",
+// matching Table 10's notation.
+func (m Merge) DisplayString(env *Env) string {
+	if env != nil && env.Merge != nil && env.Merge.Flags() != "" {
+		return "merge('" + env.Merge.Flags() + "')"
+	}
+	return "merge"
+}
+
+func (m Merge) InDomain(env *Env, y string) bool {
+	if env == nil || env.Merge == nil {
+		return false
+	}
+	return env.Merge.IsSorted(y)
+}
+
+func (m Merge) Eval(env *Env, y1, y2 string) (string, error) {
+	if env == nil || env.Merge == nil {
+		return "", evalErr(m, "no merge comparator bound in Env")
+	}
+	if !env.Merge.IsSorted(y1) || !env.Merge.IsSorted(y2) {
+		return "", evalErr(m, "operand is not sorted")
+	}
+	return env.Merge.MergeStreams(y1, y2), nil
+}

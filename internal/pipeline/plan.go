@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"kumquat/internal/synth"
+	"kumquat/internal/textio"
+	"kumquat/internal/unix"
+)
+
+// StagePlan is the planner's verdict for one command stage.
+type StagePlan struct {
+	Spec string
+	Cmd  unix.Command
+	// Synth is the synthesis result; Synth.Err != nil means no combiner.
+	Synth *synth.Result
+	// Parallel marks stages executed data-parallel with a combiner.
+	Parallel bool
+	// Sequential marks stages with only a rerun combiner and no
+	// significant stream reduction: parallelizing them costs more than it
+	// saves, so they run serially (§2's tr -cs decision).
+	Sequential bool
+	// Eliminated marks parallel stages whose combiner the optimizer removed
+	// per Theorem 5: their output substreams feed the next parallel stage
+	// directly.
+	Eliminated bool
+	// StreamOutput records whether the command's outputs terminate with
+	// newlines — Theorem 5's precondition (tr -d '\n' violates it).
+	StreamOutput bool
+}
+
+// Plan is the compiled data-parallel pipeline.
+type Plan struct {
+	InputFile string
+	Stages    []*StagePlan
+}
+
+// Compile synthesizes a combiner for every stage and applies the paper's
+// two planning decisions: sequential execution of non-reducing rerun
+// stages, and intermediate combiner elimination (§3.5).
+func Compile(p *Pipeline, syn *synth.Synthesizer) (*Plan, error) {
+	plan := &Plan{InputFile: p.InputFile}
+	for _, spec := range p.Stages {
+		cmd, err := unix.Parse(spec, syn.Env)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stage %q: %w", spec, err)
+		}
+		sp := &StagePlan{Spec: spec, Cmd: cmd}
+		res, _ := syn.SynthesizeSpec(spec)
+		sp.Synth = res
+		if res != nil && res.Err == nil {
+			sp.Parallel = true
+			// Rerun-only stages execute sequentially: re-running the
+			// command over the concatenated substreams re-does the whole
+			// computation, so data parallelism buys nothing (§2's tr -cs
+			// decision; Table 3 applies it to every rerun-only stage,
+			// e.g. sed 100q in top-n.sh and head -n 3 in unix50 12.sh).
+			if res.Combiner.IsRerunOnly() {
+				sp.Parallel = false
+				sp.Sequential = true
+			}
+		}
+		sp.StreamOutput = probeStreamOutput(cmd)
+		plan.Stages = append(plan.Stages, sp)
+	}
+	// Theorem 5: a parallel stage whose combiner is concat and whose
+	// outputs are streams feeds its substreams directly into a following
+	// parallel stage; the intermediate combiner disappears. The final
+	// stage always combines (a single output stream must emerge).
+	for i := 0; i+1 < len(plan.Stages); i++ {
+		cur, next := plan.Stages[i], plan.Stages[i+1]
+		if cur.Parallel && cur.StreamOutput && next.Parallel &&
+			cur.Synth.Combiner.IsConcat() {
+			cur.Eliminated = true
+		}
+	}
+	return plan, nil
+}
+
+// probeStreamOutput checks Theorem 5's precondition on sample inputs: the
+// command must produce newline-terminated (or empty) output.
+func probeStreamOutput(cmd unix.Command) bool {
+	for _, in := range []string{"xq zv\nqm\n", "ab\n\ncd ef\n"} {
+		out, err := cmd.Run(in)
+		if err != nil {
+			continue
+		}
+		if out != "" && !textio.IsStream(out) {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts summarizes the plan for Table 3: parallelized stages k, total
+// stages n, and eliminated combiners.
+func (p *Plan) Counts() (parallelized, total, eliminated int) {
+	for _, sp := range p.Stages {
+		total++
+		if sp.Parallel {
+			parallelized++
+		}
+		if sp.Eliminated {
+			eliminated++
+		}
+	}
+	return
+}

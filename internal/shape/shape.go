@@ -1,0 +1,244 @@
+// Package shape implements KumQuat's input shapes and input generation
+// (§3.2, Definitions 3.11–3.12): an input shape bounds three dimensions of a
+// generated stream — lines per input, words per line, characters per word —
+// each with a minimum count, maximum count, and a percentage of distinct
+// elements. The synthesizer mutates shapes along the twelve directions of
+// Algorithm 2 (three dimensions × {more/fewer elements, more/less varied})
+// and follows the mutations that eliminate the most candidate combiners.
+package shape
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Config bounds one dimension of an input shape (Definition 3.11):
+// the element count range [Min, Max] and the percentage (1–100) of distinct
+// elements on that dimension.
+type Config struct {
+	Min, Max int
+	Distinct int
+}
+
+// clamp keeps a config self-consistent after mutation.
+func (c Config) clamp(minFloor int) Config {
+	if c.Min < minFloor {
+		c.Min = minFloor
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Distinct < 5 {
+		c.Distinct = 5
+	}
+	if c.Distinct > 100 {
+		c.Distinct = 100
+	}
+	return c
+}
+
+// Shape specifies the configurations for the three input dimensions.
+type Shape struct {
+	Lines, Words, Chars Config
+}
+
+// Seed is the predefined seed input shape Algorithm 1 starts from. Words
+// start at minimum zero so empty lines occur from the first round: an empty
+// line at the split boundary is the §3.2 counterexample that eliminates
+// concat for squeeze-style commands (tr -cs).
+func Seed() Shape {
+	return Shape{
+		Lines: Config{Min: 2, Max: 8, Distinct: 60},
+		Words: Config{Min: 0, Max: 4, Distinct: 60},
+		Chars: Config{Min: 1, Max: 5, Distinct: 60},
+	}
+}
+
+// ForLiteral derives a seed shape whose line dimension straddles a numeric
+// literal mined from the command (§3.2: for "sed 100q", KumQuat generates
+// initial shapes where one dimension is close to 100).
+func ForLiteral(n int) Shape {
+	s := Seed()
+	lo := n - 2
+	if lo < 1 {
+		lo = 1
+	}
+	s.Lines = Config{Min: lo, Max: n + 2, Distinct: 60}
+	return s
+}
+
+// NumMutations is the number of shape mutations Algorithm 2 explores per
+// iteration: three dimensions × four directions.
+const NumMutations = 12
+
+// Mutate returns the j-th mutation (0 ≤ j < NumMutations) of s:
+// per dimension, more elements (double Max), fewer elements (halve Max),
+// more varied (+30 distinct), less varied (−30 distinct).
+func Mutate(s Shape, j int) Shape {
+	dim, dir := j/4, j%4
+	apply := func(c Config, floor int) Config {
+		switch dir {
+		case 0:
+			c.Max *= 2
+			c.Min = c.Max / 4
+		case 1:
+			c.Max /= 2
+			if c.Min > c.Max {
+				c.Min = c.Max
+			}
+		case 2:
+			c.Distinct += 30
+		case 3:
+			c.Distinct -= 30
+		}
+		return c.clamp(floor)
+	}
+	switch dim {
+	case 0:
+		s.Lines = apply(s.Lines, 1)
+	case 1:
+		// Words may drop to zero: empty lines are the §3.2 counterexample
+		// shape for tr -cs (consecutive newlines at the split boundary).
+		s.Words = apply(s.Words, 0)
+	default:
+		s.Chars = apply(s.Chars, 1)
+	}
+	return s
+}
+
+// Generator produces random streams satisfying a shape. The dictionaries
+// come from preprocessing (§3.2): WordDict holds strings matching mined
+// regex/number literals, FileNames holds legal file names for xargs-style
+// commands, and Sorted forces sorted output for comm-style commands.
+type Generator struct {
+	Rng       *rand.Rand
+	WordDict  []string // mined literals; mixed in with probability DictBias
+	FileNames []string // when non-nil, lines are file names
+	Sorted    bool     // sort generated lines (comm-style commands)
+	DictBias  float64  // probability of drawing a word from WordDict
+}
+
+// New returns a deterministic generator with the given seed.
+func New(seed int64) *Generator {
+	return &Generator{Rng: rand.New(rand.NewSource(seed)), DictBias: 0.5}
+}
+
+func (g *Generator) intBetween(c Config) int {
+	if c.Max <= c.Min {
+		return c.Min
+	}
+	return c.Min + g.Rng.Intn(c.Max-c.Min+1)
+}
+
+// poolSize converts a distinct percentage into a pool size ≥ 1.
+func poolSize(n, distinct int) int {
+	p := n * distinct / 100
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// word generates one random word under the chars config, drawing characters
+// from a restricted pool to honour the distinct percentage.
+func (g *Generator) word(chars Config) string {
+	n := g.intBetween(chars)
+	if n == 0 {
+		n = 1
+	}
+	pool := poolSize(26, chars.Distinct)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		// Letters only: digits and punctuation reach inputs exclusively via
+		// mined literals in WordDict, reproducing the paper's preprocessing
+		// story (numeric fields appear only when a command's literals are
+		// mined — the reason Table 9's equality-gated awk is unsupported).
+		if g.Rng.Intn(100) < 15 {
+			b.WriteByte(byte('A' + g.Rng.Intn(pool)))
+		} else {
+			b.WriteByte(byte('a' + g.Rng.Intn(pool)))
+		}
+	}
+	return b.String()
+}
+
+// line generates one line under the words/chars configs.
+func (g *Generator) line(s Shape) string {
+	n := g.intBetween(s.Words)
+	words := make([]string, n)
+	for i := range words {
+		if len(g.WordDict) > 0 && g.Rng.Float64() < g.DictBias {
+			words[i] = g.WordDict[g.Rng.Intn(len(g.WordDict))]
+		} else {
+			words[i] = g.word(s.Chars)
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// Stream generates a stream satisfying the shape (Definition 3.12).
+func (g *Generator) Stream(s Shape) string {
+	n := g.intBetween(s.Lines)
+	if n < 1 {
+		n = 1
+	}
+	if g.FileNames != nil {
+		// File-name mode: lines are names drawn from the legal set.
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = g.FileNames[g.Rng.Intn(len(g.FileNames))]
+		}
+		if g.Sorted {
+			sort.Strings(lines)
+		}
+		return strings.Join(lines, "\n") + "\n"
+	}
+	// Build a pool of distinct lines, then sample with repetition: a
+	// distinct percentage below 100 guarantees duplicate lines, which is
+	// what exposes uniq-style boundary merging (§3.2).
+	pool := make([]string, poolSize(n, s.Lines.Distinct))
+	for i := range pool {
+		pool[i] = g.line(s)
+	}
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = pool[g.Rng.Intn(len(pool))]
+	}
+	if g.Sorted {
+		sort.Strings(lines)
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// StreamPair generates an input stream pair ⟨x1, x2⟩ with x1 ++ x2
+// satisfying the shape (Definition 3.12): a full stream split at a random
+// interior line boundary, so both halves are themselves streams.
+func (g *Generator) StreamPair(s Shape) (x1, x2 string) {
+	full := g.Stream(s)
+	// Collect interior line-boundary offsets.
+	var cuts []int
+	for i := 0; i < len(full)-1; i++ {
+		if full[i] == '\n' {
+			cuts = append(cuts, i+1)
+		}
+	}
+	if len(cuts) == 0 {
+		// Single-line stream: append one more line so both halves exist.
+		extra := g.line(s) + "\n"
+		cuts = append(cuts, len(full))
+		full += extra
+	}
+	cut := cuts[g.Rng.Intn(len(cuts))]
+	return full[:cut], full[cut:]
+}
+
+// Pairs generates count input stream pairs for one shape.
+func (g *Generator) Pairs(s Shape, count int) [][2]string {
+	out := make([][2]string, count)
+	for i := range out {
+		x1, x2 := g.StreamPair(s)
+		out[i] = [2]string{x1, x2}
+	}
+	return out
+}

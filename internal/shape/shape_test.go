@@ -1,0 +1,175 @@
+package shape
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"kumquat/internal/textio"
+)
+
+func TestSeedShape(t *testing.T) {
+	s := Seed()
+	if s.Lines.Min < 1 || s.Lines.Max < s.Lines.Min {
+		t.Error("seed lines config inconsistent")
+	}
+}
+
+func TestMutateAllDirections(t *testing.T) {
+	s := Seed()
+	seen := map[Shape]bool{}
+	for j := 0; j < NumMutations; j++ {
+		m := Mutate(s, j)
+		if m == s {
+			t.Errorf("mutation %d did not change the shape", j)
+		}
+		seen[m] = true
+		// Clamps hold.
+		for _, c := range []Config{m.Lines, m.Words, m.Chars} {
+			if c.Max < c.Min || c.Distinct < 5 || c.Distinct > 100 {
+				t.Errorf("mutation %d produced inconsistent config %+v", j, c)
+			}
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct mutations", len(seen))
+	}
+}
+
+func TestMutateWordsCanReachZero(t *testing.T) {
+	s := Seed()
+	for i := 0; i < 6; i++ {
+		s = Mutate(s, 4+1) // words, fewer elements
+	}
+	if s.Words.Min != 0 || s.Words.Max != 0 {
+		t.Errorf("words should bottom out at 0, got %+v", s.Words)
+	}
+	// Zero-word shapes generate empty lines (tr -cs counterexamples).
+	g := New(1)
+	st := g.Stream(s)
+	if !strings.Contains(st, "\n") {
+		t.Error("stream must be newline terminated")
+	}
+	for _, l := range textio.Lines(st) {
+		if l != "" {
+			t.Errorf("zero-word shape generated nonempty line %q", l)
+		}
+	}
+}
+
+func TestStreamSatisfiesShape(t *testing.T) {
+	g := New(42)
+	s := Shape{
+		Lines: Config{Min: 3, Max: 6, Distinct: 100},
+		Words: Config{Min: 2, Max: 2, Distinct: 100},
+		Chars: Config{Min: 1, Max: 4, Distinct: 100},
+	}
+	for trial := 0; trial < 100; trial++ {
+		st := g.Stream(s)
+		if !textio.IsStream(st) {
+			t.Fatal("generated input is not a stream")
+		}
+		lines := textio.Lines(st)
+		if len(lines) < 3 || len(lines) > 6 {
+			t.Fatalf("line count %d outside [3,6]", len(lines))
+		}
+		for _, l := range lines {
+			words := strings.Split(l, " ")
+			if len(words) != 2 {
+				t.Fatalf("word count %d != 2 in %q", len(words), l)
+			}
+			for _, w := range words {
+				if len(w) < 1 || len(w) > 4 {
+					t.Fatalf("word length %d outside [1,4]", len(w))
+				}
+			}
+		}
+	}
+}
+
+func TestLowDistinctProducesDuplicates(t *testing.T) {
+	g := New(7)
+	s := Shape{
+		Lines: Config{Min: 40, Max: 40, Distinct: 10},
+		Words: Config{Min: 1, Max: 2, Distinct: 50},
+		Chars: Config{Min: 1, Max: 3, Distinct: 50},
+	}
+	st := g.Stream(s)
+	lines := textio.Lines(st)
+	uniq := map[string]bool{}
+	for _, l := range lines {
+		uniq[l] = true
+	}
+	if len(uniq) > 8 {
+		t.Errorf("distinct=10%% of 40 lines should give ≤ ~4 distinct, got %d", len(uniq))
+	}
+}
+
+func TestStreamPairConcatIsStream(t *testing.T) {
+	g := New(3)
+	s := Seed()
+	for trial := 0; trial < 200; trial++ {
+		x1, x2 := g.StreamPair(s)
+		if x1 == "" || x2 == "" {
+			t.Fatal("pair halves must be nonempty")
+		}
+		if !textio.IsStream(x1) || !textio.IsStream(x2) {
+			t.Fatalf("halves must be streams: %q %q", x1, x2)
+		}
+	}
+}
+
+func TestSortedMode(t *testing.T) {
+	g := New(9)
+	g.Sorted = true
+	st := g.Stream(Seed())
+	lines := textio.Lines(st)
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("sorted mode produced unsorted stream %q", st)
+	}
+}
+
+func TestFileNameMode(t *testing.T) {
+	g := New(11)
+	g.FileNames = []string{"a.txt", "b.txt", "c.txt"}
+	st := g.Stream(Seed())
+	for _, l := range textio.Lines(st) {
+		if l != "a.txt" && l != "b.txt" && l != "c.txt" {
+			t.Errorf("file-name mode generated %q", l)
+		}
+	}
+}
+
+func TestWordDictBias(t *testing.T) {
+	g := New(13)
+	g.WordDict = []string{"lightXlight"}
+	g.DictBias = 1.0
+	s := Seed()
+	s.Words = Config{Min: 1, Max: 1, Distinct: 100}
+	st := g.Stream(s)
+	for _, l := range textio.Lines(st) {
+		if l != "lightXlight" {
+			t.Errorf("dict bias 1.0 should force dictionary words, got %q", l)
+		}
+	}
+}
+
+func TestForLiteral(t *testing.T) {
+	s := ForLiteral(100)
+	if s.Lines.Min > 100 || s.Lines.Max < 100 {
+		t.Errorf("literal shape should straddle 100: %+v", s.Lines)
+	}
+	s1 := ForLiteral(1)
+	if s1.Lines.Min < 1 {
+		t.Errorf("literal shape floor: %+v", s1.Lines)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 20; i++ {
+		if a.Stream(Seed()) != b.Stream(Seed()) {
+			t.Fatal("same seed must generate identical streams")
+		}
+	}
+}

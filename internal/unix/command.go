@@ -1,0 +1,265 @@
+// Package unix implements the Unix command substrate KumQuat parallelizes:
+// pure-Go, deterministic reimplementations of every command that appears in
+// the paper's 70 benchmark scripts, exposed through the same black-box
+// interface the synthesizer observes (input stream in, output stream out).
+//
+// The paper invokes real GNU binaries through the shell; this package
+// substitutes in-process implementations with matching observable behaviour
+// for the exact flag combinations the benchmarks use (see DESIGN.md,
+// "Substitutions"). Because KumQuat treats commands as black boxes —
+// Definition 3.2, f : Stream → Stream — the substitution is invisible to
+// the synthesis algorithm.
+package unix
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Command is a deterministic computation over an input stream
+// (Definition 3.2). Run returns the output for the full input; commands that
+// would print a diagnostic and fail in a real shell (comm on unsorted input,
+// xargs on missing files) return a non-nil error instead.
+type Command interface {
+	// Spec returns the original command text, e.g. "tr -cs A-Za-z '\\n'".
+	Spec() string
+	// Run executes the command on the whole input stream.
+	Run(input string) (string, error)
+}
+
+// LineMapper is implemented by commands that map each input line to zero or
+// more output lines independently — the "Mapping Input Lines to Disjoint
+// Output Lines" class of §3.4 (tr without -s, grep without -c, cut, sed s///,
+// awk filters, rev, ...). The pipelined executor streams these commands
+// line-by-line; everything else buffers its whole input.
+type LineMapper interface {
+	Command
+	// MapLine maps one input line (without terminator) to zero or more
+	// output lines (without terminators).
+	MapLine(line string) []string
+}
+
+// Streamer is implemented by commands that can process input incrementally.
+// LineMappers get a Streamer implementation for free via StreamCommand.
+type Streamer interface {
+	Command
+	// StreamTo consumes lines from r and writes output to w incrementally.
+	StreamTo(r io.Reader, w io.Writer) error
+}
+
+// runLineMapper evaluates a LineMapper over a whole input stream.
+func runLineMapper(lm LineMapper, input string) string {
+	if input == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(input))
+	rest := input
+	for rest != "" {
+		var line string
+		if i := strings.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			line, rest = rest, ""
+		}
+		for _, out := range lm.MapLine(line) {
+			b.WriteString(out)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// StreamLineMapper drives a LineMapper incrementally from r to w, used by
+// the pipelined (T_orig) executor to overlap pipeline stages.
+func StreamLineMapper(lm LineMapper, r io.Reader, w io.Writer) error {
+	br := newLineReader(r)
+	bw := newChunkWriter(w)
+	for {
+		line, err := br.readLine()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, out := range lm.MapLine(line) {
+			if err := bw.writeLine(out); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.flush()
+}
+
+// lineReader reads newline-terminated lines without size limits.
+type lineReader struct {
+	r   io.Reader
+	buf []byte
+	// pending holds read-but-unconsumed bytes.
+	pending []byte
+	eof     bool
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: r, buf: make([]byte, 64*1024)}
+}
+
+// readLine returns the next line without its terminator; io.EOF when the
+// input is exhausted. A final unterminated line is returned before EOF.
+func (lr *lineReader) readLine() (string, error) {
+	for {
+		if i := indexByte(lr.pending, '\n'); i >= 0 {
+			line := string(lr.pending[:i])
+			lr.pending = lr.pending[i+1:]
+			return line, nil
+		}
+		if lr.eof {
+			if len(lr.pending) > 0 {
+				line := string(lr.pending)
+				lr.pending = nil
+				return line, nil
+			}
+			return "", io.EOF
+		}
+		n, err := lr.r.Read(lr.buf)
+		if n > 0 {
+			lr.pending = append(lr.pending, lr.buf[:n]...)
+		}
+		if err == io.EOF {
+			lr.eof = true
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// chunkWriter batches line writes to reduce io.Pipe round trips.
+type chunkWriter struct {
+	w io.Writer
+	b strings.Builder
+}
+
+func newChunkWriter(w io.Writer) *chunkWriter { return &chunkWriter{w: w} }
+
+func (cw *chunkWriter) writeLine(line string) error {
+	cw.b.WriteString(line)
+	cw.b.WriteByte('\n')
+	if cw.b.Len() >= 32*1024 {
+		return cw.flush()
+	}
+	return nil
+}
+
+func (cw *chunkWriter) flush() error {
+	if cw.b.Len() == 0 {
+		return nil
+	}
+	_, err := io.WriteString(cw.w, cw.b.String())
+	cw.b.Reset()
+	return err
+}
+
+// Env supplies the execution environment shared by commands: the simulated
+// file system used by xargs, comm and sed-generated path prefixes.
+type Env struct {
+	FS *FS
+}
+
+// DefaultEnv returns an Env with a fresh synthetic file system.
+func DefaultEnv() *Env { return &Env{FS: NewFS()} }
+
+// Parse compiles a command spec (shell-style text such as
+// "grep -c 'light.*light'" or "sort -rn") into a Command. Leading VAR=VALUE
+// environment assignments are skipped; $VAR references must already be
+// resolved by the caller (the pipeline parser does this).
+func Parse(spec string, env *Env) (Command, error) {
+	if env == nil {
+		env = DefaultEnv()
+	}
+	argv, err := Tokenize(spec)
+	if err != nil {
+		return nil, fmt.Errorf("unix: parse %q: %w", spec, err)
+	}
+	// Skip environment assignments such as LC_COLLATE=C.
+	for len(argv) > 0 && isEnvAssign(argv[0]) {
+		argv = argv[1:]
+	}
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("unix: empty command in %q", spec)
+	}
+	ctor, ok := builtins[argv[0]]
+	if !ok {
+		return nil, fmt.Errorf("unix: unknown command %q", argv[0])
+	}
+	cmd, err := ctor(spec, argv[1:], env)
+	if err != nil {
+		return nil, fmt.Errorf("unix: %q: %w", spec, err)
+	}
+	return cmd, nil
+}
+
+func isEnvAssign(tok string) bool {
+	i := strings.IndexByte(tok, '=')
+	if i <= 0 {
+		return false
+	}
+	for _, c := range tok[:i] {
+		if !(c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c == '_' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+type ctor func(spec string, args []string, env *Env) (Command, error)
+
+var builtins = map[string]ctor{
+	"cat":    newCat,
+	"tr":     newTr,
+	"sort":   newSort,
+	"uniq":   newUniq,
+	"grep":   newGrep,
+	"wc":     newWc,
+	"cut":    newCut,
+	"sed":    newSed,
+	"awk":    newAwk,
+	"head":   newHead,
+	"tail":   newTail,
+	"xargs":  newXargs,
+	"comm":   newComm,
+	"paste":  newPaste,
+	"ls":     newLs,
+	"mkfifo": newMkfifo,
+	"rm":     newRm,
+	"diff":   newDiff,
+
+	// bigrams_aux stands in for the shell helper function the oneliners
+	// bi-grams script defines (paper footnote 5's "function calls").
+	"bigrams_aux": newBigramsAux,
+	"fmt":         newFmt,
+	"rev":         newRev,
+	"col":         newCol,
+	"iconv":       newIconv,
+	"file":        newFile,
+}
+
+// Names returns the set of supported command names (for documentation and
+// the CLI's error messages).
+func Names() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,165 @@
+package unix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the simulated file system backing xargs, comm and file. The paper's
+// experiments read real files; here file names map to registered in-memory
+// contents. A command that references an unregistered file fails with an
+// error, which reproduces the probe behaviour §3.2 relies on: xargs errors
+// on word-list inputs (the words are not files) but succeeds on lists of
+// legal file names (drawn from this FS).
+type FS struct {
+	mu     sync.RWMutex
+	files  map[string]string
+	corpus []string // names offered as the legal-file-name dictionary
+}
+
+// NewFS returns a file system pre-seeded with a deterministic corpus:
+// 48 small text files (f000.txt .. f047.txt), a handful of script files,
+// and a sorted dictionary at "dict.sorted" (used by comm-based spell
+// checking). Benchmarks register additional inputs on top.
+func NewFS() *FS {
+	fs := &FS{files: make(map[string]string)}
+	rng := rand.New(rand.NewSource(0x5eed))
+	for i := 0; i < 48; i++ {
+		name := fmt.Sprintf("f%03d.txt", i)
+		fs.files[name] = syntheticText(rng, 3+rng.Intn(6))
+		fs.corpus = append(fs.corpus, name)
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("s%02d.sh", i)
+		fs.files[name] = syntheticScript(rng, 2+rng.Intn(12))
+		fs.corpus = append(fs.corpus, name)
+	}
+	fs.files["dict.sorted"] = defaultDict()
+	sort.Strings(fs.corpus)
+	return fs
+}
+
+// DictionaryNames returns the corpus file names used as the synthesizer's
+// legal-file-name dictionary (§3.2). Support files such as dict.sorted are
+// readable but excluded: the dictionary models a directory listing of data
+// files, as in the paper's environment.
+func (fs *FS) DictionaryNames() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return append([]string(nil), fs.corpus...)
+}
+
+// AddToDictionary registers a file and includes it in the legal-file-name
+// dictionary (used by benchmark input registration).
+func (fs *FS) AddToDictionary(name, content string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = content
+	fs.corpus = append(fs.corpus, name)
+	sort.Strings(fs.corpus)
+}
+
+// Register adds or replaces a file.
+func (fs *FS) Register(name, content string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = content
+}
+
+// Remove deletes a file if present (rm is tolerant, like rm -f).
+func (fs *FS) Remove(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+}
+
+// Read returns the content of a registered file.
+func (fs *FS) Read(name string) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	c, ok := fs.files[name]
+	if !ok {
+		return "", fmt.Errorf("%s: No such file or directory", name)
+	}
+	return c, nil
+}
+
+// Names returns all registered file names in sorted order. The synthesizer
+// uses this as the legal-file-name dictionary for commands whose probes
+// demand file names (§3.2).
+func (fs *FS) Names() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NamesUnder returns registered names with the given prefix, sorted.
+func (fs *FS) NamesUnder(prefix string) []string {
+	var out []string
+	for _, n := range fs.Names() {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+var fillerWords = []string{
+	"the", "and", "of", "to", "light", "sea", "ship", "night", "wind",
+	"stone", "river", "green", "dark", "song", "word", "time", "land",
+	"king", "gold", "dream",
+}
+
+// linePool is the shared set of lines synthetic files draw from. Sharing a
+// small pool makes duplicate lines across files common, so xargs-style
+// commands produce observations with equal boundary lines — the
+// counterexamples that eliminate incorrect stitch candidates during
+// synthesis. Every line contains a space so that the space-keyed offset
+// combiners stay within their legality domain, as in Table 10.
+var linePool = func() []string {
+	rng := rand.New(rand.NewSource(0x11e5))
+	pool := make([]string, 12)
+	for i := range pool {
+		n := 3 + rng.Intn(5)
+		words := make([]string, n)
+		for j := range words {
+			words[j] = fillerWords[rng.Intn(len(fillerWords))]
+		}
+		pool[i] = strings.Join(words, " ")
+	}
+	return pool
+}()
+
+func syntheticText(rng *rand.Rand, lines int) string {
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		b.WriteString(linePool[rng.Intn(len(linePool))])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func syntheticScript(rng *rand.Rand, lines int) string {
+	var b strings.Builder
+	b.WriteString("#! /bin/sh\n")
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&b, "echo step%d\n", rng.Intn(100))
+	}
+	return b.String()
+}
+
+func defaultDict() string {
+	words := append([]string(nil), fillerWords...)
+	words = append(words, "a", "i", "cat", "dog", "house", "tree", "water",
+		"fire", "earth", "morning", "evening", "letter", "paper", "road")
+	sort.Strings(words)
+	return strings.Join(words, "\n") + "\n"
+}

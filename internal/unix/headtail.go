@@ -1,0 +1,135 @@
+package unix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kumquat/internal/textio"
+)
+
+// headCmd implements head: first N lines (default 10), accepting both
+// "-n N" and the historical "-N" form (head -15).
+type headCmd struct {
+	spec string
+	n    int
+}
+
+func newHead(spec string, args []string, _ *Env) (Command, error) {
+	h := &headCmd{spec: spec, n: 10}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-n" && i+1 < len(args):
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("head: bad count %q", args[i])
+			}
+			h.n = n
+		case strings.HasPrefix(a, "-n"):
+			n, err := strconv.Atoi(a[2:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("head: bad count %q", a)
+			}
+			h.n = n
+		case strings.HasPrefix(a, "-"):
+			n, err := strconv.Atoi(a[1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("head: bad argument %q", a)
+			}
+			h.n = n
+		default:
+			return nil, fmt.Errorf("head: unexpected argument %q", a)
+		}
+	}
+	return h, nil
+}
+
+func (h *headCmd) Spec() string { return h.spec }
+
+func (h *headCmd) Run(input string) (string, error) {
+	lines := textio.Lines(input)
+	if len(lines) > h.n {
+		lines = lines[:h.n]
+	}
+	return textio.JoinLines(lines), nil
+}
+
+// Literals exposes the line count for preprocessing (head -n 3 behaves
+// differently around inputs of ~3 lines).
+func (h *headCmd) Literals() []int { return []int{h.n} }
+
+// tailCmd implements tail -n N (last N lines) and the historical "+N" form
+// (print from line N onward), which Table 9 lists among the commands with
+// no correct combiner.
+type tailCmd struct {
+	spec string
+	n    int
+	from int // +N form: 1-based starting line; 0 when unused
+}
+
+func newTail(spec string, args []string, _ *Env) (Command, error) {
+	t := &tailCmd{spec: spec, n: 10}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-n" && i+1 < len(args):
+			i++
+			if strings.HasPrefix(args[i], "+") {
+				n, err := strconv.Atoi(args[i][1:])
+				if err != nil {
+					return nil, fmt.Errorf("tail: bad count %q", args[i])
+				}
+				t.from = n
+				continue
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("tail: bad count %q", args[i])
+			}
+			t.n = n
+		case strings.HasPrefix(a, "+"):
+			n, err := strconv.Atoi(a[1:])
+			if err != nil {
+				return nil, fmt.Errorf("tail: bad argument %q", a)
+			}
+			t.from = n
+		case strings.HasPrefix(a, "-n"):
+			n, err := strconv.Atoi(a[2:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("tail: bad count %q", a)
+			}
+			t.n = n
+		default:
+			return nil, fmt.Errorf("tail: unexpected argument %q", a)
+		}
+	}
+	return t, nil
+}
+
+func (t *tailCmd) Spec() string { return t.spec }
+
+func (t *tailCmd) Run(input string) (string, error) {
+	lines := textio.Lines(input)
+	if t.from > 0 {
+		if t.from-1 < len(lines) {
+			lines = lines[t.from-1:]
+		} else {
+			lines = nil
+		}
+		return textio.JoinLines(lines), nil
+	}
+	if len(lines) > t.n {
+		lines = lines[len(lines)-t.n:]
+	}
+	return textio.JoinLines(lines), nil
+}
+
+// Literals exposes the line count for preprocessing.
+func (t *tailCmd) Literals() []int {
+	if t.from > 0 {
+		return []int{t.from}
+	}
+	return []int{t.n}
+}

@@ -1,0 +1,72 @@
+package unix
+
+import "fmt"
+
+// Tokenize splits a command spec using shell-like word splitting:
+// whitespace separates words; single quotes preserve everything literally;
+// double quotes preserve everything except \" \\ \$ escapes; a backslash
+// outside quotes escapes the next character. Adjacent quoted and unquoted
+// segments concatenate into one word, so s/\$/'0s'/ tokenizes to "s/$/0s/".
+func Tokenize(spec string) ([]string, error) {
+	var argv []string
+	var cur []byte
+	inWord := false
+	i := 0
+	for i < len(spec) {
+		c := spec[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			if inWord {
+				argv = append(argv, string(cur))
+				cur = cur[:0]
+				inWord = false
+			}
+			i++
+		case c == '\'':
+			inWord = true
+			j := i + 1
+			for j < len(spec) && spec[j] != '\'' {
+				j++
+			}
+			if j >= len(spec) {
+				return nil, fmt.Errorf("unterminated single quote")
+			}
+			cur = append(cur, spec[i+1:j]...)
+			i = j + 1
+		case c == '"':
+			inWord = true
+			i++
+			for i < len(spec) && spec[i] != '"' {
+				if spec[i] == '\\' && i+1 < len(spec) {
+					switch spec[i+1] {
+					case '"', '\\', '$', '`':
+						cur = append(cur, spec[i+1])
+						i += 2
+						continue
+					}
+				}
+				cur = append(cur, spec[i])
+				i++
+			}
+			if i >= len(spec) {
+				return nil, fmt.Errorf("unterminated double quote")
+			}
+			i++
+		case c == '\\':
+			if i+1 >= len(spec) {
+				return nil, fmt.Errorf("trailing backslash")
+			}
+			inWord = true
+			cur = append(cur, spec[i+1])
+			i += 2
+		default:
+			inWord = true
+			cur = append(cur, c)
+			i++
+		}
+	}
+	if inWord {
+		argv = append(argv, string(cur))
+	}
+	return argv, nil
+}

@@ -1,0 +1,292 @@
+package unix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kumquat/internal/textio"
+)
+
+// SortCmd implements GNU sort with C collation for the flag combinations in
+// the benchmarks: plain, -n, -r, -f, -u, -k POS[n], -m, and combinations
+// (-rn, -nr, -k1n). --parallel=N is accepted and ignored (the paper's
+// experimental setup forces --parallel=1 to keep stages serial).
+//
+// The comparator is exported (Less) because the DSL's merge combiner is
+// "sort -m <flags>" with the same flags (§3.1 RunOp).
+type SortCmd struct {
+	spec     string
+	Numeric  bool
+	Reverse  bool
+	Fold     bool
+	Unique   bool
+	Merge    bool
+	Key      int  // 1-based field for -k; 0 = whole line
+	KeyNum   bool // numeric modifier on -k
+	KeyRev   bool // r modifier on -k
+	flagsStr string
+}
+
+func newSort(spec string, args []string, _ *Env) (Command, error) {
+	s := &SortCmd{spec: spec}
+	var flagTokens []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-k" && i+1 < len(args):
+			i++
+			if err := s.parseKey(args[i]); err != nil {
+				return nil, err
+			}
+			flagTokens = append(flagTokens, "-k", args[i])
+		case strings.HasPrefix(a, "-k"):
+			if err := s.parseKey(a[2:]); err != nil {
+				return nil, err
+			}
+			flagTokens = append(flagTokens, a)
+		case strings.HasPrefix(a, "--parallel"):
+			// ignored: our stages are in-process
+		case strings.HasPrefix(a, "-") && len(a) > 1:
+			for _, f := range a[1:] {
+				switch f {
+				case 'n':
+					s.Numeric = true
+				case 'r':
+					s.Reverse = true
+				case 'f':
+					s.Fold = true
+				case 'u':
+					s.Unique = true
+				case 'm':
+					s.Merge = true
+				case 's':
+					// stability: our sort is always stable
+				default:
+					return nil, fmt.Errorf("sort: unsupported flag -%c", f)
+				}
+			}
+			flagTokens = append(flagTokens, a)
+		default:
+			return nil, fmt.Errorf("sort: unexpected argument %q", a)
+		}
+	}
+	s.flagsStr = strings.Join(flagTokens, " ")
+	return s, nil
+}
+
+func (s *SortCmd) parseKey(spec string) error {
+	// Supported: "N", "Nn", "Nr", "Nnr" (field N with modifiers).
+	i := 0
+	n := 0
+	for i < len(spec) && spec[i] >= '0' && spec[i] <= '9' {
+		n = n*10 + int(spec[i]-'0')
+		i++
+	}
+	if n == 0 {
+		return fmt.Errorf("sort: bad key %q", spec)
+	}
+	s.Key = n
+	for ; i < len(spec); i++ {
+		switch spec[i] {
+		case 'n':
+			s.KeyNum = true
+		case 'r':
+			s.KeyRev = true
+		case '.', ',':
+			// ignore sub-positions and end keys (not used by benchmarks)
+			return nil
+		default:
+			return fmt.Errorf("sort: bad key modifier %q", spec)
+		}
+	}
+	return nil
+}
+
+// Flags returns the flag string (e.g. "-rn"), used to label the merge
+// combiner as merge('-rn') in synthesis results.
+func (s *SortCmd) Flags() string { return s.flagsStr }
+
+func (s *SortCmd) Spec() string { return s.spec }
+
+// keyOf extracts the comparison key of a line.
+func (s *SortCmd) keyOf(line string) string {
+	if s.Key == 0 {
+		return line
+	}
+	fields := strings.Fields(line)
+	if s.Key-1 < len(fields) {
+		return fields[s.Key-1]
+	}
+	return ""
+}
+
+// numValue parses a GNU-sort-style leading numeric value: optional blanks,
+// optional sign, digits with optional decimal part. Anything else is 0.
+func numValue(sv string) float64 {
+	i := 0
+	for i < len(sv) && (sv[i] == ' ' || sv[i] == '\t') {
+		i++
+	}
+	start := i
+	if i < len(sv) && (sv[i] == '-' || sv[i] == '+') {
+		i++
+	}
+	digits := false
+	for i < len(sv) && sv[i] >= '0' && sv[i] <= '9' {
+		i++
+		digits = true
+	}
+	if i < len(sv) && sv[i] == '.' {
+		i++
+		for i < len(sv) && sv[i] >= '0' && sv[i] <= '9' {
+			i++
+			digits = true
+		}
+	}
+	if !digits {
+		return 0
+	}
+	var v float64
+	str := strings.TrimPrefix(sv[start:i], "+")
+	neg := strings.HasPrefix(str, "-")
+	str = strings.TrimPrefix(str, "-")
+	intPart, frac, _ := strings.Cut(str, ".")
+	for _, c := range intPart {
+		v = v*10 + float64(c-'0')
+	}
+	scale := 0.1
+	for _, c := range frac {
+		v += float64(c-'0') * scale
+		scale /= 10
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// compareKey compares the sort keys of two lines, before reversal and the
+// last-resort comparison.
+func (s *SortCmd) compareKey(a, b string) int {
+	ka, kb := s.keyOf(a), s.keyOf(b)
+	numeric := s.Numeric || (s.Key > 0 && s.KeyNum)
+	if numeric {
+		va, vb := numValue(ka), numValue(kb)
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if s.Fold {
+		ka, kb = strings.ToUpper(ka), strings.ToUpper(kb)
+	}
+	return strings.Compare(ka, kb)
+}
+
+// Less is the full GNU ordering: key comparison with -r reversal, falling
+// back to a bytewise whole-line last-resort comparison on key ties.
+func (s *SortCmd) Less(a, b string) bool {
+	c := s.compareKey(a, b)
+	if s.Reverse || s.KeyRev {
+		c = -c
+	}
+	if c != 0 {
+		return c < 0
+	}
+	if s.Unique {
+		return false // equal keys: order among them irrelevant, dedup keeps first
+	}
+	c = strings.Compare(a, b)
+	if s.Reverse {
+		c = -c
+	}
+	return c < 0
+}
+
+// EqualKey reports whether two lines compare equal under the key (used by
+// -u and by merge dedup).
+func (s *SortCmd) EqualKey(a, b string) bool { return s.compareKey(a, b) == 0 }
+
+// IsSorted reports whether the stream is already ordered under this
+// command's comparator — the legality domain of the merge combiner.
+func (s *SortCmd) IsSorted(stream string) bool {
+	lines := textio.Lines(stream)
+	for i := 1; i < len(lines); i++ {
+		if s.Less(lines[i], lines[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *SortCmd) Run(input string) (string, error) {
+	lines := textio.Lines(input)
+	if s.Merge {
+		// Single input: merging one stream is the identity (plus -u dedup).
+		if !s.IsSorted(input) {
+			return "", fmt.Errorf("sort: -m: input is not sorted")
+		}
+	} else {
+		sorted := make([]string, len(lines))
+		copy(sorted, lines)
+		sort.SliceStable(sorted, func(i, j int) bool { return s.Less(sorted[i], sorted[j]) })
+		lines = sorted
+	}
+	if s.Unique {
+		lines = s.dedup(lines)
+	}
+	return textio.JoinLines(lines), nil
+}
+
+func (s *SortCmd) dedup(lines []string) []string {
+	var out []string
+	for i, l := range lines {
+		if i == 0 || !s.EqualKey(out[len(out)-1], l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MergeStreams merges k pre-sorted streams under this comparator, as the
+// Unix script "sort -m <flags> $*" does in the paper's k-way combiner
+// implementation (§3.5). Stability: ties are taken from earlier streams.
+func (s *SortCmd) MergeStreams(streams ...string) string {
+	type cursor struct {
+		lines []string
+		pos   int
+	}
+	cursors := make([]*cursor, 0, len(streams))
+	total := 0
+	for _, st := range streams {
+		ls := textio.Lines(st)
+		total += len(ls)
+		cursors = append(cursors, &cursor{lines: ls})
+	}
+	out := make([]string, 0, total)
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.pos >= len(c.lines) {
+				continue
+			}
+			if best < 0 || s.Less(c.lines[c.pos], cursors[best].lines[cursors[best].pos]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, cursors[best].lines[cursors[best].pos])
+		cursors[best].pos++
+	}
+	if s.Unique {
+		out = s.dedup(out)
+	}
+	return textio.JoinLines(out)
+}

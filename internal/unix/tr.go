@@ -1,0 +1,316 @@
+package unix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// trCmd implements GNU tr for the flag combinations the benchmarks use:
+// translate, -c (complement SET1), -d (delete), -s (squeeze), and their
+// combinations (-cs, -sc, -d with -c). Set syntax: literal characters,
+// ranges a-z, escapes \n \t \\ and octal \012, POSIX classes [:lower:] etc.,
+// and the [c*] / [c*n] repetition notation (e.g. '[\012*]').
+//
+// As in GNU tr, plain brackets are ordinary characters: '[a-z]' denotes
+// '[', the range a-z, and ']' — which is why the classic scripts write
+// tr '[a-z]' '[A-Z]' with brackets on both sides.
+type trCmd struct {
+	spec       string
+	complement bool
+	del        bool
+	squeeze    bool
+	set1       []byte
+	set2       []byte // empty when deleting or squeezing only
+
+	translate  [256]byte
+	translated [256]bool // true when the byte is replaced by translate
+	deleteSet  [256]bool
+	squeezeSet [256]bool
+	hasXlate   bool
+}
+
+func newTr(spec string, args []string, _ *Env) (Command, error) {
+	t := &trCmd{spec: spec}
+	var sets []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && len(a) > 1 && len(sets) == 0 {
+			for _, f := range a[1:] {
+				switch f {
+				case 'c', 'C':
+					t.complement = true
+				case 'd':
+					t.del = true
+				case 's':
+					t.squeeze = true
+				default:
+					return nil, fmt.Errorf("tr: unsupported flag -%c", f)
+				}
+			}
+			continue
+		}
+		sets = append(sets, a)
+	}
+	if len(sets) == 0 || len(sets) > 2 {
+		return nil, fmt.Errorf("tr: need 1 or 2 sets, got %d", len(sets))
+	}
+	var err error
+	t.set1, err = expandTrSet(sets[0], 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(sets) == 2 {
+		t.set2, err = expandTrSet(sets[1], len(t.set1))
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.compile()
+	return t, nil
+}
+
+func (t *trCmd) compile() {
+	inSet1 := [256]bool{}
+	for _, c := range t.set1 {
+		inSet1[c] = true
+	}
+	member1 := func(c int) bool { return inSet1[c] != t.complement }
+
+	switch {
+	case t.del:
+		for c := 0; c < 256; c++ {
+			t.deleteSet[c] = member1(c)
+		}
+		if t.squeeze && len(t.set2) > 0 {
+			for _, c := range t.set2 {
+				t.squeezeSet[c] = true
+			}
+		}
+	case len(t.set2) == 0:
+		// squeeze-only: squeeze members of SET1 (complemented if -c).
+		for c := 0; c < 256; c++ {
+			t.squeezeSet[c] = member1(c)
+		}
+	default:
+		t.hasXlate = true
+		set2 := t.set2
+		last := set2[len(set2)-1]
+		if t.complement {
+			// Complemented translation: every byte not in SET1 maps to the
+			// corresponding SET2 byte; GNU pads SET2 with its last byte, and
+			// with -c effectively everything maps to the last byte unless
+			// SET2 is long enough to cover the (ordered) complement.
+			idx := 0
+			for c := 0; c < 256; c++ {
+				if !inSet1[c] {
+					if idx < len(set2) {
+						t.translate[c] = set2[idx]
+					} else {
+						t.translate[c] = last
+					}
+					t.translated[c] = true
+					idx++
+				}
+			}
+		} else {
+			for i, c := range t.set1 {
+				if i < len(set2) {
+					t.translate[c] = set2[i]
+				} else {
+					t.translate[c] = last
+				}
+				t.translated[c] = true
+			}
+		}
+		if t.squeeze {
+			// Squeeze repeats of SET2 members in the output.
+			for _, c := range set2 {
+				t.squeezeSet[c] = true
+			}
+		}
+	}
+}
+
+func (t *trCmd) Spec() string { return t.spec }
+
+// Run processes the raw byte stream (tr is not line-oriented; squeezing
+// crosses line boundaries, which is exactly why concat is an incorrect
+// combiner for tr -s and KumQuat synthesizes rerun for it).
+func (t *trCmd) Run(input string) (string, error) {
+	var b strings.Builder
+	b.Grow(len(input))
+	var prev byte
+	havePrev := false
+	for i := 0; i < len(input); i++ {
+		c := input[i]
+		if t.deleteSet[c] {
+			continue
+		}
+		if t.translated[c] {
+			c = t.translate[c]
+		}
+		if t.squeezeSet[c] && havePrev && prev == c {
+			continue
+		}
+		b.WriteByte(c)
+		prev, havePrev = c, true
+	}
+	return b.String(), nil
+}
+
+// expandTrSet expands a tr SET description into bytes. targetLen is used by
+// the [c*] notation in SET2 (repeat to match SET1's length); 0 means SET1.
+func expandTrSet(s string, targetLen int) ([]byte, error) {
+	var out []byte
+	i := 0
+	readChar := func() (byte, error) {
+		c := s[i]
+		if c != '\\' {
+			i++
+			return c, nil
+		}
+		if i+1 >= len(s) {
+			return 0, fmt.Errorf("tr: trailing backslash in set")
+		}
+		e := s[i+1]
+		switch {
+		case e == 'n':
+			i += 2
+			return '\n', nil
+		case e == 't':
+			i += 2
+			return '\t', nil
+		case e == '\\':
+			i += 2
+			return '\\', nil
+		case e >= '0' && e <= '7':
+			// octal escape, up to 3 digits
+			v := 0
+			j := i + 1
+			for j < len(s) && j < i+4 && s[j] >= '0' && s[j] <= '7' {
+				v = v*8 + int(s[j]-'0')
+				j++
+			}
+			i = j
+			return byte(v), nil
+		default:
+			i += 2
+			return e, nil
+		}
+	}
+	for i < len(s) {
+		// POSIX class [:name:]
+		if strings.HasPrefix(s[i:], "[:") {
+			end := strings.Index(s[i:], ":]")
+			if end >= 0 {
+				name := s[i+2 : i+end]
+				fn, ok := posixTrClasses[name]
+				if !ok {
+					return nil, fmt.Errorf("tr: unknown class [:%s:]", name)
+				}
+				for c := 0; c < 256; c++ {
+					if fn(byte(c)) {
+						out = append(out, byte(c))
+					}
+				}
+				i += end + 2
+				continue
+			}
+		}
+		// Repetition [c*] or [c*n]
+		if s[i] == '[' && i+2 < len(s) {
+			save := i
+			i++
+			c, err := readChar()
+			if err != nil {
+				return nil, err
+			}
+			if i < len(s) && s[i] == '*' {
+				j := i + 1
+				n := 0
+				for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+					n = n*10 + int(s[j]-'0')
+					j++
+				}
+				if j < len(s) && s[j] == ']' {
+					if n == 0 {
+						n = targetLen - len(out)
+						if n < 1 {
+							n = 1
+						}
+					}
+					for k := 0; k < n; k++ {
+						out = append(out, c)
+					}
+					i = j + 1
+					continue
+				}
+			}
+			i = save
+		}
+		c, err := readChar()
+		if err != nil {
+			return nil, err
+		}
+		// Range c-hi
+		if i < len(s) && s[i] == '-' && i+1 < len(s) {
+			i++
+			hi, err := readChar()
+			if err != nil {
+				return nil, err
+			}
+			if c > hi {
+				return nil, fmt.Errorf("tr: inverted range %c-%c", c, hi)
+			}
+			for x := int(c); x <= int(hi); x++ {
+				out = append(out, byte(x))
+			}
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+var posixTrClasses = map[string]func(byte) bool{
+	"alpha": func(b byte) bool { return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' },
+	"digit": func(b byte) bool { return b >= '0' && b <= '9' },
+	"lower": func(b byte) bool { return b >= 'a' && b <= 'z' },
+	"upper": func(b byte) bool { return b >= 'A' && b <= 'Z' },
+	"space": func(b byte) bool {
+		return b == ' ' || b == '\t' || b == '\n' || b == '\v' || b == '\f' || b == '\r'
+	},
+	"alnum": func(b byte) bool {
+		return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+	},
+	"punct": func(b byte) bool {
+		return b > ' ' && b < 0x7f && !(b >= 'a' && b <= 'z') && !(b >= 'A' && b <= 'Z') && !(b >= '0' && b <= '9')
+	},
+}
+
+// PureTranslate reports whether this tr invocation maps lines independently
+// (no squeeze and no newline involvement), i.e. whether it is a LineMapper.
+func (t *trCmd) pureTranslate() bool {
+	if t.squeeze {
+		return false
+	}
+	if t.deleteSet['\n'] || (t.translated['\n'] && t.translate['\n'] != '\n') {
+		return false
+	}
+	return true
+}
+
+// MapLine implements LineMapper for tr invocations without cross-line
+// effects. Translating a byte *to* '\n' splits the line.
+func (t *trCmd) MapLine(line string) []string {
+	out, _ := t.Run(line)
+	return strings.Split(out, "\n")
+}
+
+// AsLineMapper returns the command as a LineMapper when its flags permit
+// line-independent processing.
+func (t *trCmd) AsLineMapper() (LineMapper, bool) {
+	if t.pureTranslate() {
+		return t, true
+	}
+	return nil, false
+}

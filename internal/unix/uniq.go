@@ -1,0 +1,53 @@
+package unix
+
+import (
+	"fmt"
+	"strings"
+
+	"kumquat/internal/textio"
+)
+
+// uniqCmd implements uniq and uniq -c: collapse runs of equal consecutive
+// lines; -c prefixes each surviving line with its run count formatted GNU
+// style ("%7d "), which is the padded-table shape the stitch2 combiner's
+// delPad/addPad semantics are built around.
+type uniqCmd struct {
+	spec  string
+	count bool
+}
+
+func newUniq(spec string, args []string, _ *Env) (Command, error) {
+	u := &uniqCmd{spec: spec}
+	for _, a := range args {
+		switch a {
+		case "-c":
+			u.count = true
+		default:
+			return nil, fmt.Errorf("uniq: unsupported argument %q", a)
+		}
+	}
+	return u, nil
+}
+
+func (u *uniqCmd) Spec() string { return u.spec }
+
+func (u *uniqCmd) Run(input string) (string, error) {
+	lines := textio.Lines(input)
+	var b strings.Builder
+	b.Grow(len(input))
+	i := 0
+	for i < len(lines) {
+		j := i + 1
+		for j < len(lines) && lines[j] == lines[i] {
+			j++
+		}
+		if u.count {
+			fmt.Fprintf(&b, "%7d %s\n", j-i, lines[i])
+		} else {
+			b.WriteString(lines[i])
+			b.WriteByte('\n')
+		}
+		i = j
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,62 @@
+package unix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kumquat/internal/textio"
+)
+
+// wcCmd implements wc reading standard input: -l (lines), -w (words),
+// -c (bytes), or the default "lines words bytes" triple. With stdin there is
+// no file-name column and GNU prints the bare number(s).
+type wcCmd struct {
+	spec                string
+	lines, words, bytes bool
+}
+
+func newWc(spec string, args []string, _ *Env) (Command, error) {
+	w := &wcCmd{spec: spec}
+	for _, a := range args {
+		switch a {
+		case "-l":
+			w.lines = true
+		case "-w":
+			w.words = true
+		case "-c":
+			w.bytes = true
+		default:
+			return nil, fmt.Errorf("wc: unsupported argument %q", a)
+		}
+	}
+	if !w.lines && !w.words && !w.bytes {
+		w.lines, w.words, w.bytes = true, true, true
+	}
+	return w, nil
+}
+
+func (w *wcCmd) Spec() string { return w.spec }
+
+func (w *wcCmd) Run(input string) (string, error) {
+	nl := textio.CountByte('\n', input)
+	var parts []string
+	if w.lines {
+		parts = append(parts, strconv.Itoa(nl))
+	}
+	if w.words {
+		parts = append(parts, strconv.Itoa(len(strings.Fields(input))))
+	}
+	if w.bytes {
+		parts = append(parts, strconv.Itoa(len(input)))
+	}
+	if len(parts) > 1 {
+		// GNU right-aligns multi-column output; single counts are bare.
+		var b strings.Builder
+		for _, p := range parts {
+			fmt.Fprintf(&b, "%7s", p)
+		}
+		return b.String() + "\n", nil
+	}
+	return parts[0] + "\n", nil
+}

@@ -1,0 +1,229 @@
+// Package kumquat is the public API of the KumQuat reproduction: automatic
+// synthesis of combiners for data-parallel execution of Unix commands and
+// pipelines (Shen, Rinard, Vasilakis; PPoPP 2022).
+//
+// The typical workflow mirrors Figure 2 of the paper:
+//
+//	env := kumquat.NewEnv()
+//	env.Register("in.txt", data)
+//	sys := kumquat.New(env)
+//
+//	// Synthesize a combiner for one command:
+//	res, err := sys.Synthesize("uniq -c")
+//	fmt.Println(res.Combiner) // (stitch2 ' ' add first a b), ...
+//
+//	// Or parallelize a whole pipeline:
+//	plan, err := sys.Parallelize("cat in.txt | tr -cs A-Za-z '\n' | sort | uniq -c")
+//	out, err := plan.Run(16)
+//
+// Commands are the pure-Go substrate in internal/unix; they behave like
+// their GNU counterparts for the flag combinations the paper's benchmarks
+// use and are exercised strictly as black boxes by the synthesizer.
+package kumquat
+
+import (
+	"kumquat/internal/dsl"
+	"kumquat/internal/pipeline"
+	"kumquat/internal/synth"
+	"kumquat/internal/unix"
+)
+
+// Env is the execution environment: the simulated file system commands
+// read (xargs, comm, cat with file operands) and pipelines use for input
+// files and intermediate redirects.
+type Env struct {
+	u *unix.Env
+}
+
+// NewEnv creates an environment with the default synthetic file corpus
+// (used as the legal-file-name dictionary during synthesis).
+func NewEnv() *Env { return &Env{u: unix.DefaultEnv()} }
+
+// Register adds or replaces a file's contents.
+func (e *Env) Register(name, content string) { e.u.FS.Register(name, content) }
+
+// Read returns a registered file's contents.
+func (e *Env) Read(name string) (string, error) { return e.u.FS.Read(name) }
+
+// Options re-exports the synthesis tuning knobs.
+type Options = synth.Options
+
+// Result is a command's synthesis outcome (search space, plausible
+// combiners, timing) — one row of the paper's Table 10.
+type Result = synth.Result
+
+// System owns a shared synthesizer with its per-command combiner cache.
+type System struct {
+	env *Env
+	syn *synth.Synthesizer
+}
+
+// New creates a System with default options.
+func New(env *Env) *System { return NewWithOptions(env, Options{Seed: 1}) }
+
+// NewWithOptions creates a System with explicit synthesis options.
+func NewWithOptions(env *Env, opts Options) *System {
+	if env == nil {
+		env = NewEnv()
+	}
+	return &System{env: env, syn: synth.New(env.u, opts)}
+}
+
+// Env returns the system's environment.
+func (s *System) Env() *Env { return s.env }
+
+// RunCommand executes a single command spec on an input stream — the
+// black-box f the synthesizer observes.
+func (s *System) RunCommand(spec, input string) (string, error) {
+	cmd, err := unix.Parse(spec, s.env.u)
+	if err != nil {
+		return "", err
+	}
+	return cmd.Run(input)
+}
+
+// Combine applies a combiner, written in the DSL's textual form (e.g.
+// "(stitch2 ' ' add first a b)" or "merge('-rn')"), to two parallel outputs
+// of the given command. The command binds rerun's f and merge's comparator.
+func (s *System) Combine(combiner, cmdSpec, y1, y2 string) (string, error) {
+	cand, err := dsl.ParseCandidate(combiner)
+	if err != nil {
+		return "", err
+	}
+	cmd, err := unix.Parse(cmdSpec, s.env.u)
+	if err != nil {
+		return "", err
+	}
+	denv := &dsl.Env{RunF: cmd.Run}
+	if sc, ok := cmd.(*unix.SortCmd); ok {
+		denv.Merge = sc
+	} else if def, err := unix.Parse("sort", s.env.u); err == nil {
+		denv.Merge = def.(*unix.SortCmd)
+	}
+	return cand.Eval(denv, y1, y2)
+}
+
+// Synthesize infers a combiner for one command (Algorithm 1 + Algorithm 2).
+// The returned Result reports the search space, surviving candidates and
+// the composite combiner; err is non-nil when no combiner exists for the
+// command (the paper's Table 9 cases).
+func (s *System) Synthesize(spec string) (*Result, error) {
+	return s.syn.SynthesizeSpec(spec)
+}
+
+// Plan is a compiled data-parallel pipeline with its executors.
+type Plan struct {
+	env   *Env
+	plans []*pipeline.Plan
+	outs  []string // output redirect targets per pipeline ("" = stdout)
+}
+
+// Parallelize parses a shell script (one or more pipelines, VAR=${VAR:-..}
+// assignments, comments), synthesizes combiners for every stage, and
+// applies the §3.5 optimizations (combiner elimination, sequential rerun
+// stages).
+func (s *System) Parallelize(script string) (*Plan, error) {
+	parsed, err := pipeline.ParseScript(script, nil)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{env: s.env}
+	for _, pl := range parsed.Pipelines {
+		plan, err := pipeline.Compile(pl, s.syn)
+		if err != nil {
+			return nil, err
+		}
+		p.plans = append(p.plans, plan)
+		p.outs = append(p.outs, pl.OutputFile)
+	}
+	return p, nil
+}
+
+// Counts reports the planning outcome across the script: parallelized
+// stages, total stages, and eliminated combiners (the paper's Table 3 row).
+func (p *Plan) Counts() (parallelized, total, eliminated int) {
+	for _, plan := range p.plans {
+		par, tot, elim := plan.Counts()
+		parallelized += par
+		total += tot
+		eliminated += elim
+	}
+	return
+}
+
+// Stages describes each stage's planning verdict, in order.
+func (p *Plan) Stages() []StageInfo {
+	var out []StageInfo
+	for _, plan := range p.plans {
+		for _, sp := range plan.Stages {
+			info := StageInfo{
+				Spec:       sp.Spec,
+				Parallel:   sp.Parallel,
+				Sequential: sp.Sequential,
+				Eliminated: sp.Eliminated,
+			}
+			if sp.Synth != nil && sp.Synth.Err == nil {
+				info.Combiner = sp.Synth.Combiner.String()
+			}
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// StageInfo is one stage's planning verdict.
+type StageInfo struct {
+	Spec       string
+	Combiner   string // composite combiner display ("" when none)
+	Parallel   bool
+	Sequential bool
+	Eliminated bool
+}
+
+// run executes all pipelines in order with the given per-pipeline runner,
+// wiring output redirects through the environment.
+func (p *Plan) run(exec func(*pipeline.Plan) (string, error)) (string, error) {
+	var final string
+	for i, plan := range p.plans {
+		out, err := exec(plan)
+		if err != nil {
+			return "", err
+		}
+		if p.outs[i] != "" {
+			p.env.Register(p.outs[i], out)
+		} else {
+			final += out
+		}
+	}
+	return final, nil
+}
+
+// Run executes the optimized data-parallel pipeline with k-way parallelism
+// (the paper's T_k configuration).
+func (p *Plan) Run(k int) (string, error) {
+	return p.run(func(pl *pipeline.Plan) (string, error) {
+		return pl.RunOptimized(p.env.u, "", k)
+	})
+}
+
+// RunUnoptimized executes with a combiner after every stage (u_k).
+func (p *Plan) RunUnoptimized(k int) (string, error) {
+	return p.run(func(pl *pipeline.Plan) (string, error) {
+		return pl.RunParallel(p.env.u, "", k)
+	})
+}
+
+// RunSerial executes every stage to completion in order (u_1).
+func (p *Plan) RunSerial() (string, error) {
+	return p.run(func(pl *pipeline.Plan) (string, error) {
+		return pl.RunSerial(p.env.u, "")
+	})
+}
+
+// RunPipelined executes the original pipeline with Unix-style stage
+// overlap (the T_orig configuration).
+func (p *Plan) RunPipelined() (string, error) {
+	return p.run(func(pl *pipeline.Plan) (string, error) {
+		return pl.RunPipelined(p.env.u, "")
+	})
+}
