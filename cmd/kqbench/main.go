@@ -7,9 +7,12 @@
 //	kqbench -table all            # everything (default)
 //	kqbench -table 3              # planning counts only (fast)
 //	kqbench -table 10 -scale 500  # synthesis results, smaller inputs
+//	kqbench -bench-exec OUT.json  # buffered-vs-streaming executor smoke
+//	                              # run on the wordfreq pipeline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +25,16 @@ import (
 func main() {
 	table := flag.String("table", "all", "table to print: 1,3,4,5,6,7,8,9,10,summary,all")
 	scale := flag.Int("scale", 4000, "approximate input lines per script")
+	benchExec := flag.String("bench-exec", "", "write a buffered-vs-streaming executor comparison (wordfreq pipeline) to this JSON file and exit")
+	k := flag.Int("k", 8, "parallelism degree for -bench-exec")
 	flag.Parse()
+
+	if *benchExec != "" {
+		if err := writeBenchExec(*benchExec, *scale, *k); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ks := []int{1, 2, 4, 8, 16}
 	h := bench.NewHarness(*scale, ks)
@@ -142,6 +154,30 @@ func writeSummary(h *bench.Harness) {
 	fmt.Printf("Synthesis times: min %v, median %v, max %v\n",
 		minD.Round(time.Millisecond), med.Round(time.Millisecond), maxD.Round(time.Millisecond))
 	fmt.Printf("  (paper: 39 s – 331 s, median 60 s, on real process execution)\n")
+}
+
+// writeBenchExec runs the wordfreq executor comparison and writes the
+// JSON report, echoing a one-line summary per mode to stdout.
+func writeBenchExec(path string, scale, k int) error {
+	cmp, err := bench.CompareExecutors(scale, k)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, m := range cmp.Modes {
+		fmt.Printf("%-22s k=%-3d %8.1f ms  %d bytes\n", m.Name, m.K, m.WallMS, m.BytesOut)
+	}
+	fmt.Printf("agree=%v -> %s\n", cmp.Agree, path)
+	if !cmp.Agree {
+		return fmt.Errorf("executor outputs disagree")
+	}
+	return nil
 }
 
 func fatal(err error) {

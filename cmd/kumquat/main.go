@@ -13,13 +13,19 @@
 //	kumquat run -k 8 -input FILE "cat FILE | sort | uniq -c"
 //	    Execute a pipeline with k-way data parallelism (reads the named
 //	    input file from the host file system into the in-memory
-//	    environment first).
+//	    environment first). Pipelines without a `cat FILE` source stream
+//	    the process's standard input; output streams to standard output.
+//	    -mode selects the execution configuration and -report prints
+//	    per-stage wall times, byte counts and chunk counts to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -55,7 +61,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   kumquat synth '<command>'
   kumquat plan '<pipeline>'
-  kumquat run [-k N] [-input FILE]... '<pipeline>'
+  kumquat run [-k N] [-mode MODE] [-report] [-input FILE]... '<pipeline>'
   kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2`)
 }
 
@@ -153,6 +159,8 @@ func runPlan(args []string) error {
 func runRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	k := fs.Int("k", 8, "parallelism degree")
+	mode := fs.String("mode", "optimized", "execution mode: optimized, unoptimized, serial, pipelined")
+	report := fs.Bool("report", false, "print the per-stage execution report to stderr")
 	var inputs multiFlag
 	fs.Var(&inputs, "input", "host file to load into the environment (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +168,10 @@ func runRun(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run needs exactly one pipeline argument")
+	}
+	m, err := kumquat.ParseMode(*mode)
+	if err != nil {
+		return err
 	}
 	env := kumquat.NewEnv()
 	for _, path := range inputs {
@@ -174,12 +186,46 @@ func runRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	out, err := plan.Run(*k)
+	// First interrupt cancels the run; stop() re-arms the default SIGINT
+	// disposition as soon as the context fires, so a second Ctrl-C kills
+	// the process even if a stage is blocked reading a silent stdin.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	rep, err := plan.Execute(ctx,
+		kumquat.WithParallelism(*k),
+		kumquat.WithMode(m),
+		kumquat.WithStdin(os.Stdin),
+		kumquat.WithOutput(os.Stdout))
+	if errors.Is(err, context.Canceled) {
+		// The user interrupted the run; exit with the conventional
+		// SIGINT status instead of reporting an internal error.
+		os.Exit(130)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Print(out)
+	if *report {
+		writeReport(rep)
+	}
 	return nil
+}
+
+func writeReport(rep *kumquat.RunReport) {
+	w := os.Stderr
+	fmt.Fprintf(w, "mode=%s k=%d wall=%v in=%dB out=%dB\n",
+		rep.Mode, rep.Parallelism, rep.Wall.Round(time.Microsecond), rep.BytesIn, rep.BytesOut)
+	for _, st := range rep.Stages {
+		how := "buffered"
+		switch {
+		case st.Streamed:
+			how = "streamed"
+		case st.Chunks > 1:
+			how = fmt.Sprintf("%d chunks", st.Chunks)
+		}
+		fmt.Fprintf(w, "  %-36s %-10s wall=%-10v in=%-10d out=%d\n",
+			st.Spec, how, st.Wall.Round(time.Microsecond), st.BytesIn, st.BytesOut)
+	}
 }
 
 type multiFlag []string

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,19 +37,18 @@ func main() {
 		}
 		par, total, elim := plan.Counts()
 
-		start := time.Now()
-		want, err := plan.RunSerial()
+		ctx := context.Background()
+		serialRep, err := plan.Execute(ctx, kumquat.WithMode(kumquat.Serial))
 		if err != nil {
 			log.Fatal(err)
 		}
-		serial := time.Since(start)
+		want, serial := serialRep.Output, serialRep.Wall
 
-		start = time.Now()
-		got, err := plan.Run(8)
+		rep, err := plan.Execute(ctx, kumquat.WithParallelism(8))
 		if err != nil {
 			log.Fatal(err)
 		}
-		parallel := time.Since(start)
+		got, parallel := rep.Output, rep.Wall
 
 		fmt.Printf("%-26s %d/%d stages parallel, %d eliminated; serial %7v, 8-way %7v (%.2fx), correct=%v\n",
 			s.name, par, total, elim,

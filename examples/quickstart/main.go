@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,19 @@ func main() {
 		fmt.Printf("  %-12s combiner: %s\n", st.Spec, st.Combiner)
 	}
 
-	out, err := plan.Run(4) // 4-way data parallelism
+	// 3. Execute with 4-way data parallelism. Execute is the streaming
+	// entry point: it takes a context, accepts io.Reader/io.Writer via
+	// WithStdin/WithOutput, and returns a per-stage run report.
+	rep, err := plan.Execute(context.Background(), kumquat.WithParallelism(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n4-way parallel output:\n%s", out)
+	fmt.Printf("\n4-way parallel output:\n%s", rep.Output)
+	fmt.Printf("\nrun report: wall=%v in=%dB out=%dB\n", rep.Wall, rep.BytesIn, rep.BytesOut)
+	for _, st := range rep.Stages {
+		fmt.Printf("  %-12s chunks=%d streamed=%v %v\n", st.Spec, st.Chunks, st.Streamed, st.Wall)
+	}
 
 	serial, _ := plan.RunSerial()
-	fmt.Printf("\nmatches serial output: %v\n", out == serial)
+	fmt.Printf("\nmatches serial output: %v\n", rep.Output == serial)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,18 +37,17 @@ func main() {
 		}
 		par, total, elim := plan.Counts()
 
-		start := time.Now()
-		want, err := plan.RunSerial()
+		ctx := context.Background()
+		serialRep, err := plan.Execute(ctx, kumquat.WithMode(kumquat.Serial))
 		if err != nil {
 			log.Fatal(err)
 		}
-		serial := time.Since(start)
-		start = time.Now()
-		got, err := plan.Run(8)
+		want, serial := serialRep.Output, serialRep.Wall
+		rep, err := plan.Execute(ctx, kumquat.WithParallelism(8))
 		if err != nil {
 			log.Fatal(err)
 		}
-		ptime := time.Since(start)
+		got, ptime := rep.Output, rep.Wall
 
 		answer, _, _ := strings.Cut(got, "\n")
 		fmt.Printf("%-32s %d/%d parallel (%d eliminated)  serial %6v  8-way %6v (%.2fx)  ok=%v\n",

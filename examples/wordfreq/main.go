@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -42,32 +43,27 @@ func main() {
 		fmt.Printf("  %-24s %-38s %s\n", st.Spec, mode, st.Combiner)
 	}
 
-	serialStart := time.Now()
-	want, err := plan.RunSerial()
-	if err != nil {
-		log.Fatal(err)
+	// Every configuration goes through the streaming Execute API; the run
+	// reports carry wall time directly, so nothing is timed by hand.
+	ctx := context.Background()
+	run := func(mode kumquat.Mode, k int) *kumquat.RunReport {
+		rep, err := plan.Execute(ctx, kumquat.WithMode(mode), kumquat.WithParallelism(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
 	}
-	serialTime := time.Since(serialStart)
+
+	serialRep := run(kumquat.Serial, 1)
+	want, serialTime := serialRep.Output, serialRep.Wall
 
 	for _, k := range []int{2, 4, 16} {
-		uStart := time.Now()
-		uOut, err := plan.RunUnoptimized(k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		uTime := time.Since(uStart)
-
-		tStart := time.Now()
-		tOut, err := plan.Run(k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tTime := time.Since(tStart)
-
+		u := run(kumquat.Unoptimized, k)
+		t := run(kumquat.Optimized, k)
 		fmt.Printf("k=%-3d u_k=%8v (%.2fx)   T_k=%8v (%.2fx)   correct=%v\n",
-			k, uTime.Round(time.Millisecond), float64(serialTime)/float64(uTime),
-			tTime.Round(time.Millisecond), float64(serialTime)/float64(tTime),
-			uOut == want && tOut == want)
+			k, u.Wall.Round(time.Millisecond), float64(serialTime)/float64(u.Wall),
+			t.Wall.Round(time.Millisecond), float64(serialTime)/float64(t.Wall),
+			u.Output == want && t.Output == want)
 	}
 
 	fmt.Printf("\nserial u_1 = %v; top words:\n", serialTime.Round(time.Millisecond))

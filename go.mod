@@ -1,0 +1,3 @@
+module kumquat
+
+go 1.24

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -108,21 +109,23 @@ func (h *Harness) scriptPlans(spec ScriptSpec) ([]*pipeline.Plan, *pipeline.Scri
 	return plans, script, nil
 }
 
-// runMode executes a whole script in one mode and returns the concatenated
-// output of its non-redirected pipelines.
+// runMode executes a whole script in one execution mode through the
+// streaming executor and returns the concatenated output of its
+// non-redirected pipelines.
 func (h *Harness) runMode(script *pipeline.Script, plans []*pipeline.Plan,
-	run func(*pipeline.Plan) (string, error)) (string, error) {
+	mode pipeline.Mode, k int) (string, error) {
 
+	ctx := context.Background()
 	var final strings.Builder
 	for i, plan := range plans {
-		out, err := run(plan)
-		if err != nil {
+		var sink strings.Builder
+		if _, err := plan.Execute(ctx, h.env, nil, &sink, mode, k); err != nil {
 			return "", err
 		}
 		if of := script.Pipelines[i].OutputFile; of != "" {
-			h.env.FS.Register(of, out)
+			h.env.FS.Register(of, sink.String())
 		} else {
-			final.WriteString(out)
+			final.WriteString(sink.String())
 		}
 	}
 	return final.String(), nil
@@ -166,9 +169,7 @@ func (h *Harness) RunScript(spec ScriptSpec) (*ScriptResult, error) {
 	}
 
 	// Serial baseline (u1 measured below with k=1; this fixes ground truth).
-	out, err := h.runMode(script, plans, func(p *pipeline.Plan) (string, error) {
-		return p.RunSerial(h.env, "")
-	})
+	out, err := h.runMode(script, plans, pipeline.ModeSerial, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -176,25 +177,18 @@ func (h *Harness) RunScript(spec ScriptSpec) (*ScriptResult, error) {
 
 	// T_orig: pipelined execution of the original script.
 	start := time.Now()
-	out, err = h.runMode(script, plans, func(p *pipeline.Plan) (string, error) {
-		return p.RunPipelined(h.env, "")
-	})
+	out, err = h.runMode(script, plans, pipeline.ModePipelined, 1)
 	res.TOrig = time.Since(start)
 	check("pipelined", out, err)
 
 	for _, k := range h.Ks {
-		k := k
 		start = time.Now()
-		out, err = h.runMode(script, plans, func(p *pipeline.Plan) (string, error) {
-			return p.RunParallel(h.env, "", k)
-		})
+		out, err = h.runMode(script, plans, pipeline.ModeUnoptimized, k)
 		res.U[k] = time.Since(start)
 		check(fmt.Sprintf("u%d", k), out, err)
 
 		start = time.Now()
-		out, err = h.runMode(script, plans, func(p *pipeline.Plan) (string, error) {
-			return p.RunOptimized(h.env, "", k)
-		})
+		out, err = h.runMode(script, plans, pipeline.ModeOptimized, k)
 		res.T[k] = time.Since(start)
 		check(fmt.Sprintf("T%d", k), out, err)
 	}

@@ -1,214 +1,54 @@
 package pipeline
 
 import (
-	"fmt"
-	"io"
+	"context"
 	"strings"
-	"sync"
 
-	"kumquat/internal/textio"
 	"kumquat/internal/unix"
 )
 
-// resolveInput loads the pipeline's input: the registered input file, or
-// the provided stdin string when the pipeline reads standard input.
-func (p *Plan) resolveInput(env *unix.Env, stdin string) (string, error) {
-	if p.InputFile == "" {
-		return stdin, nil
+// The four Run* entry points are compatibility wrappers over the streaming
+// executor in stream.go: they accept and return whole strings, but execute
+// through the same reader/writer core as Plan.Execute, so their outputs
+// are byte-identical to a streamed run.
+
+// runString executes the plan in the given mode over string input/output.
+func (p *Plan) runString(env *unix.Env, stdin string, mode Mode, k int) (string, error) {
+	var out strings.Builder
+	_, err := p.Execute(context.Background(), env, strings.NewReader(stdin), &out, mode, k)
+	if err != nil {
+		return "", err
 	}
-	return env.FS.Read(p.InputFile)
+	return out.String(), nil
 }
 
 // RunSerial executes every stage to completion in order — the u1
 // configuration of the paper's measurement infrastructure (each stage's
 // output is materialized before the next stage starts).
 func (p *Plan) RunSerial(env *unix.Env, stdin string) (string, error) {
-	data, err := p.resolveInput(env, stdin)
-	if err != nil {
-		return "", err
-	}
-	for _, sp := range p.Stages {
-		data, err = sp.Cmd.Run(data)
-		if err != nil {
-			return "", fmt.Errorf("pipeline: stage %q: %w", sp.Spec, err)
-		}
-	}
-	return data, nil
-}
-
-// runStageParallel executes one stage with k-way data parallelism and
-// combines the substreams with the synthesized combiner.
-func runStageParallel(sp *StagePlan, input string, k int) (string, error) {
-	outs, err := runChunks(sp, textio.ChunkLines(input, k))
-	if err != nil {
-		return "", err
-	}
-	return sp.Synth.Combiner.CombineK(outs)
-}
-
-// runChunks executes the stage's command on each chunk concurrently.
-func runChunks(sp *StagePlan, chunks []string) ([]string, error) {
-	outs := make([]string, len(chunks))
-	errs := make([]error, len(chunks))
-	var wg sync.WaitGroup
-	for i, ch := range chunks {
-		wg.Add(1)
-		go func(i int, ch string) {
-			defer wg.Done()
-			outs[i], errs[i] = sp.Cmd.Run(ch)
-		}(i, ch)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: stage %q chunk %d: %w", sp.Spec, i, err)
-		}
-	}
-	return outs, nil
+	return p.runString(env, stdin, ModeSerial, 1)
 }
 
 // RunParallel executes the unoptimized data-parallel pipeline (u_k): every
 // parallelizable stage splits its input k ways, runs k instances, and
 // applies its combiner; stage boundaries are barriers.
 func (p *Plan) RunParallel(env *unix.Env, stdin string, k int) (string, error) {
-	data, err := p.resolveInput(env, stdin)
-	if err != nil {
-		return "", err
-	}
-	for _, sp := range p.Stages {
-		if sp.Parallel && k > 1 {
-			data, err = runStageParallel(sp, data, k)
-		} else {
-			data, err = sp.Cmd.Run(data)
-		}
-		if err != nil {
-			return "", fmt.Errorf("pipeline: stage %q: %w", sp.Spec, err)
-		}
-	}
-	return data, nil
+	return p.runString(env, stdin, ModeUnoptimized, k)
 }
 
 // RunOptimized executes the optimized data-parallel pipeline (T_k):
 // eliminated combiners keep the stream split across consecutive parallel
 // stages, so a run of stages with eliminated combiners executes as k
-// independent sub-pipelines (Figure 5c).
+// independent sub-pipelines (Figure 5c); line-streaming stages overlap
+// through pipes.
 func (p *Plan) RunOptimized(env *unix.Env, stdin string, k int) (string, error) {
-	data, err := p.resolveInput(env, stdin)
-	if err != nil {
-		return "", err
-	}
-	var chunks []string // non-nil while the stream is split
-	for _, sp := range p.Stages {
-		switch {
-		case sp.Parallel && k > 1:
-			if chunks == nil {
-				chunks = textio.ChunkLines(data, k)
-			}
-			outs, err := runChunks(sp, chunks)
-			if err != nil {
-				return "", err
-			}
-			if sp.Eliminated {
-				chunks = outs
-				continue
-			}
-			chunks = nil
-			data, err = sp.Synth.Combiner.CombineK(outs)
-			if err != nil {
-				return "", fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
-			}
-		default:
-			if chunks != nil {
-				// Defensive: an eliminated combiner must be followed by a
-				// parallel stage (the planner guarantees it).
-				return "", fmt.Errorf("pipeline: split stream reached serial stage %q", sp.Spec)
-			}
-			var err error
-			data, err = sp.Cmd.Run(data)
-			if err != nil {
-				return "", fmt.Errorf("pipeline: stage %q: %w", sp.Spec, err)
-			}
-		}
-	}
-	if chunks != nil {
-		return "", fmt.Errorf("pipeline: stream still split after final stage")
-	}
-	return data, nil
+	return p.runString(env, stdin, ModeOptimized, k)
 }
 
 // RunPipelined executes the original pipeline with Unix-style pipelined
 // parallelism (the T_orig configuration): stages run concurrently,
-// connected by pipes; line-mapping commands stream, everything else
+// connected by pipes; streaming-capable commands stream, everything else
 // buffers its whole input before writing its output.
 func (p *Plan) RunPipelined(env *unix.Env, stdin string) (string, error) {
-	data, err := p.resolveInput(env, stdin)
-	if err != nil {
-		return "", err
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		fails []error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		fails = append(fails, err)
-		mu.Unlock()
-	}
-	reader := io.Reader(strings.NewReader(data))
-	for _, sp := range p.Stages {
-		pr, pw := io.Pipe()
-		in := reader
-		stage := sp
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer pw.Close()
-			if lm, ok := asLineMapper(stage.Cmd); ok {
-				if err := unix.StreamLineMapper(lm, in, pw); err != nil {
-					fail(fmt.Errorf("pipeline: stage %q: %w", stage.Spec, err))
-				}
-				return
-			}
-			buf, err := io.ReadAll(in)
-			if err != nil {
-				fail(err)
-				return
-			}
-			out, err := stage.Cmd.Run(string(buf))
-			if err != nil {
-				fail(fmt.Errorf("pipeline: stage %q: %w", stage.Spec, err))
-				return
-			}
-			if _, err := io.WriteString(pw, out); err != nil && err != io.ErrClosedPipe {
-				fail(err)
-			}
-		}()
-		reader = pr
-	}
-	outBytes, err := io.ReadAll(reader)
-	wg.Wait()
-	if err != nil {
-		return "", err
-	}
-	if len(fails) > 0 {
-		return "", fails[0]
-	}
-	return string(outBytes), nil
-}
-
-// asLineMapper probes a command's streaming capability, honouring the
-// flag-dependent AsLineMapper escape hatch (tr -s, sed Nq are not
-// line-independent even though their types can be).
-func asLineMapper(c unix.Command) (unix.LineMapper, bool) {
-	type asLM interface {
-		AsLineMapper() (unix.LineMapper, bool)
-	}
-	if a, ok := c.(asLM); ok {
-		return a.AsLineMapper()
-	}
-	if lm, ok := c.(unix.LineMapper); ok {
-		return lm, true
-	}
-	return nil, false
+	return p.runString(env, stdin, ModePipelined, 1)
 }

@@ -1,0 +1,716 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kumquat/internal/textio"
+	"kumquat/internal/unix"
+)
+
+// Mode selects one of the four execution configurations from the paper's
+// measurement infrastructure.
+type Mode int
+
+const (
+	// ModeOptimized is T_k: eliminated combiners keep the stream split
+	// across consecutive parallel stages, and line-streaming stages overlap
+	// through pipes instead of materializing intermediates.
+	ModeOptimized Mode = iota
+	// ModeUnoptimized is u_k: every parallelizable stage splits its input k
+	// ways and applies its combiner; stage boundaries are barriers.
+	ModeUnoptimized
+	// ModeSerial is u_1: every stage runs to completion in order.
+	ModeSerial
+	// ModePipelined is T_orig: stages run concurrently connected by pipes,
+	// with Unix-style overlap and no data parallelism.
+	ModePipelined
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOptimized:
+		return "optimized"
+	case ModeUnoptimized:
+		return "unoptimized"
+	case ModeSerial:
+		return "serial"
+	case ModePipelined:
+		return "pipelined"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// StageMetrics records one stage's execution measurements for the run
+// report: wall time, stream volume, and how the stage actually ran.
+type StageMetrics struct {
+	Spec     string
+	Wall     time.Duration
+	BytesIn  int64
+	BytesOut int64
+	// Chunks is the number of parallel instances the stage ran as
+	// (0 when the stage was not chunked).
+	Chunks int
+	// Streamed marks stages that processed their input incrementally
+	// through a pipe instead of materializing it.
+	Streamed bool
+}
+
+// stageError tags a failure with the stage it originated from, so that
+// downstream stages reading a poisoned pipe can recognize an upstream
+// failure passing through and not re-report it.
+type stageError struct {
+	spec string
+	err  error
+}
+
+func (e *stageError) Error() string { return fmt.Sprintf("pipeline: stage %q: %v", e.spec, e.err) }
+func (e *stageError) Unwrap() error { return e.err }
+
+// errSplitSerial and errSplitFinal are the planner-invariant violations the
+// optimized executor guards against.
+var (
+	errSplitSerial = errors.New("pipeline: split stream reached serial stage")
+	errSplitFinal  = errors.New("pipeline: stream still split after final stage")
+)
+
+// workerPool bounds the number of in-flight chunk executions to the
+// machine's parallelism. One pool is shared across all stages of an
+// Execute call, so asking for k far beyond the hardware queues the excess
+// chunks instead of oversubscribing the scheduler.
+type workerPool struct {
+	sem chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	return &workerPool{sem: make(chan struct{}, n)}
+}
+
+func (wp *workerPool) acquire(ctx context.Context) error {
+	select {
+	case wp.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (wp *workerPool) release() { <-wp.sem }
+
+// countReader / countWriter thread byte accounting through a stage without
+// copying. Counts are atomics because streamed stages update them from
+// their own goroutine while the report is assembled on the caller's.
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// asyncReader decouples an external source from the executor: the
+// source's Read runs in a helper goroutine, so cancellation unblocks the
+// executor even while the source is quiescent (a silent terminal, an idle
+// socket). If the source is mid-Read at cancellation, the helper parks
+// until that Read returns and then exits, discarding the data — the
+// unavoidable residue of interrupting a blocking io.Reader.
+type asyncReader struct {
+	ctx     context.Context
+	r       io.Reader
+	res     chan asyncChunk
+	pending []byte
+	err     error
+	started bool
+}
+
+type asyncChunk struct {
+	data []byte
+	err  error
+}
+
+func newAsyncReader(ctx context.Context, r io.Reader) *asyncReader {
+	return &asyncReader{ctx: ctx, r: r, res: make(chan asyncChunk)}
+}
+
+func (ar *asyncReader) Read(p []byte) (int, error) {
+	for {
+		if len(ar.pending) > 0 {
+			n := copy(p, ar.pending)
+			ar.pending = ar.pending[n:]
+			return n, nil
+		}
+		if ar.err != nil {
+			return 0, ar.err
+		}
+		if !ar.started {
+			ar.started = true
+			go func() {
+				// One reusable read buffer; each chunk handed off is a
+				// right-sized copy, so ownership transfers to the consumer
+				// and short reads (line-buffered stdin) don't cost 32 KiB
+				// of garbage apiece.
+				buf := make([]byte, 32*1024)
+				for {
+					n, err := ar.r.Read(buf)
+					chunk := make([]byte, n)
+					copy(chunk, buf[:n])
+					select {
+					case ar.res <- asyncChunk{chunk, err}:
+						if err != nil {
+							return
+						}
+					case <-ar.ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		select {
+		case ch := <-ar.res:
+			ar.pending = ch.data
+			ar.err = ch.err // sticky; surfaced once pending drains
+		case <-ar.ctx.Done():
+			ar.err = ar.ctx.Err()
+			return 0, ar.err
+		}
+	}
+}
+
+// executor carries one Execute call's shared state.
+type executor struct {
+	ctx context.Context
+	env *unix.Env
+	k   int
+	// external marks the source as a caller-supplied stdin reader whose
+	// Read may block indefinitely; such sources get an asyncReader so
+	// cancellation doesn't hang the executor.
+	external bool
+	pool     *workerPool
+}
+
+// Execute runs the plan in the given mode with k-way data parallelism,
+// reading the pipeline's input from stdin (when the plan has no input
+// file) and writing the final output stream to out. It returns per-stage
+// execution metrics alongside any error; cancellation of ctx aborts every
+// mode promptly and returns ctx.Err(). Stage goroutines are always
+// reaped before returning; the one residue of cancellation is a single
+// parked helper when the external stdin reader is blocked mid-Read — it
+// exits as soon as that Read returns, as any io.Reader demands.
+func (p *Plan) Execute(ctx context.Context, env *unix.Env, stdin io.Reader, out io.Writer, mode Mode, k int) ([]StageMetrics, error) {
+	// Cap in-flight chunk executions at the machine's parallelism: with
+	// k > GOMAXPROCS the extra chunks wait for a pool slot.
+	poolSize := k
+	if n := runtime.GOMAXPROCS(0); n < poolSize {
+		poolSize = n
+	}
+	ex := &executor{
+		ctx:      ctx,
+		env:      env,
+		k:        k,
+		external: p.InputFile == "" && stdin != nil && !inMemoryReader(stdin),
+		pool:     newWorkerPool(poolSize),
+	}
+	var ms []StageMetrics
+	var err error
+	switch mode {
+	case ModeSerial, ModeUnoptimized:
+		ms, err = ex.runBarriered(p, stdin, out, mode == ModeUnoptimized)
+	case ModeOptimized:
+		// runOptimized resolves its own source: file inputs stay
+		// materialized strings rather than round-tripping through a reader.
+		ms, err = ex.runOptimized(p, stdin, out)
+	case ModePipelined:
+		var src io.Reader
+		if src, err = p.sourceReader(env, stdin); err == nil {
+			ms, err = ex.runPipelined(p, src, out)
+		}
+	default:
+		return nil, fmt.Errorf("pipeline: unknown execution mode %v", mode)
+	}
+	// Cancellation dominates: whatever secondary failure the teardown
+	// produced (poisoned pipes, aborted chunk runs), the caller asked to
+	// stop and gets ctx.Err().
+	if err != nil && ctx.Err() != nil {
+		return ms, ctx.Err()
+	}
+	return ms, err
+}
+
+// source wraps an external (caller-supplied, possibly blocking) stream in
+// an asyncReader bound to the given context; in-memory sources pass
+// through untouched.
+func (ex *executor) source(ctx context.Context, src io.Reader) io.Reader {
+	if ex.external {
+		return newAsyncReader(ctx, src)
+	}
+	return src
+}
+
+// inMemoryReader reports whether r reads from memory already held by the
+// caller (the compat wrappers' strings.Reader stdin): such input is
+// materialized, never blocks, and needs neither async decoupling nor
+// stream-preserving execution.
+func inMemoryReader(r io.Reader) bool {
+	switch r.(type) {
+	case *strings.Reader, *bytes.Reader, *bytes.Buffer:
+		return true
+	}
+	return false
+}
+
+// sourceReader resolves the pipeline's input: the registered input file,
+// or the provided stdin reader when the pipeline reads standard input.
+func (p *Plan) sourceReader(env *unix.Env, stdin io.Reader) (io.Reader, error) {
+	if p.InputFile == "" {
+		if stdin == nil {
+			return strings.NewReader(""), nil
+		}
+		return stdin, nil
+	}
+	data, err := env.FS.Read(p.InputFile)
+	if err != nil {
+		return nil, err
+	}
+	return strings.NewReader(data), nil
+}
+
+// runChunks executes the stage's command on each chunk concurrently,
+// bounded by the shared worker pool.
+func (ex *executor) runChunks(ctx context.Context, sp *StagePlan, chunks []string) ([]string, error) {
+	outs := make([]string, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i := range chunks {
+		if err := ex.pool.acquire(ctx); err != nil {
+			errs[i] = err
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer ex.pool.release()
+			outs[i], errs[i] = sp.Cmd.Run(chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stage %q chunk %d: %w", sp.Spec, i, err)
+		}
+	}
+	return outs, nil
+}
+
+func totalLen(ss []string) int64 {
+	var n int64
+	for _, s := range ss {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// runBarriered executes stages in order with a barrier between each: the
+// serial (u_1) configuration when parallel is false, the unoptimized
+// parallel (u_k) configuration when true. Each stage's input and output
+// are materialized; parallel stages split their input into zero-copy chunk
+// views, run on the shared pool, and combine.
+func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parallel bool) ([]StageMetrics, error) {
+	var data string
+	if p.InputFile != "" {
+		// Registered files are already in memory: use the string directly
+		// instead of round-tripping it through a reader copy.
+		d, err := ex.env.FS.Read(p.InputFile)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+	} else if stdin != nil {
+		buf, err := io.ReadAll(unix.ContextReader(ex.ctx, ex.source(ex.ctx, stdin)))
+		if err != nil {
+			return nil, err
+		}
+		data = textio.View(buf)
+	}
+	metrics := make([]StageMetrics, 0, len(p.Stages))
+	for _, sp := range p.Stages {
+		if err := ex.ctx.Err(); err != nil {
+			return metrics, err
+		}
+		m := StageMetrics{Spec: sp.Spec, BytesIn: int64(len(data))}
+		start := time.Now()
+		var next string
+		if parallel && sp.Parallel && ex.k > 1 {
+			chunks := textio.ChunkLines(data, ex.k)
+			outs, err := ex.runChunks(ex.ctx, sp, chunks)
+			if err != nil {
+				return metrics, err
+			}
+			m.Chunks = len(chunks)
+			next, err = sp.Synth.Combiner.CombineK(outs)
+			if err != nil {
+				return metrics, fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
+			}
+		} else {
+			var err error
+			next, err = sp.Cmd.Run(data)
+			if err != nil {
+				return metrics, fmt.Errorf("pipeline: stage %q: %w", sp.Spec, err)
+			}
+		}
+		m.Wall = time.Since(start)
+		m.BytesOut = int64(len(next))
+		metrics = append(metrics, m)
+		data = next
+	}
+	if _, err := io.WriteString(out, data); err != nil {
+		return metrics, err
+	}
+	return metrics, nil
+}
+
+// runSplitStage executes one parallel stage over the split stream: run
+// every chunk on the pool, then either keep the stream split (eliminated
+// combiner, Figure 5c) or combine into a single stream. Exactly one of
+// keep/combined is meaningful: keep is non-nil while the stream stays
+// split.
+func (ex *executor) runSplitStage(ctx context.Context, sp *StagePlan, chunks []string, m *StageMetrics) (keep []string, combined string, err error) {
+	start := time.Now()
+	m.BytesIn = totalLen(chunks)
+	outs, err := ex.runChunks(ctx, sp, chunks)
+	if err != nil {
+		return nil, "", err
+	}
+	m.Chunks = len(chunks)
+	if sp.Eliminated {
+		m.Wall += time.Since(start)
+		m.BytesOut = totalLen(outs)
+		return outs, "", nil
+	}
+	combined, err = sp.Synth.Combiner.CombineK(outs)
+	if err != nil {
+		return nil, "", fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
+	}
+	m.Wall += time.Since(start)
+	m.BytesOut = int64(len(combined))
+	return nil, combined, nil
+}
+
+// streamableStage reports whether the optimized executor may run a stage
+// incrementally instead of chunk-parallel: the command must be able to
+// stream, and — when the planner marked it parallel — streaming must be
+// output-equivalent to chunk-and-combine (true for concat combiners and
+// for stages whose combiner was eliminated; line mappers produce disjoint
+// output lines, so concatenating streamed output equals combining chunks).
+func streamableStage(sp *StagePlan) bool {
+	if !unix.CanStream(sp.Cmd) {
+		return false
+	}
+	if !sp.Parallel {
+		return true
+	}
+	return sp.Eliminated || (sp.Synth != nil && sp.Synth.Combiner != nil && sp.Synth.Combiner.IsConcat())
+}
+
+// runOptimized executes the T_k configuration over readers and writers.
+// The stream is in one of three states as stages consume it:
+//
+//   - materialized: the whole stream is in memory (file inputs start here,
+//     and buffering/combining returns here). Parallel stages split it into
+//     zero-copy chunk views and run k instances — the paper's T_k.
+//   - split: an eliminated combiner left it as k chunk views; the next
+//     parallel stage consumes them directly (Figure 5c).
+//   - live: the stream is being produced incrementally (WithStdin sources
+//     and streamed stages). Streamable stages overlap through pipes
+//     without materializing it; the first whole-stream stage buffers.
+//
+// Chunk-parallelism is preferred whenever the stream is already in memory;
+// streaming is used only while the source is genuinely incremental, where
+// materializing would cost the bounded-memory property.
+func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []StageMetrics, err error) {
+	ctx, cancel := context.WithCancel(ex.ctx)
+	// finish() cancels on every streaming path; this covers the early
+	// input-resolution returns so the child context never leaks.
+	defer cancel()
+	metrics := make([]StageMetrics, len(p.Stages))
+	var (
+		streamWG sync.WaitGroup
+		pipes    []*io.PipeReader
+	)
+	// finish tears down in-flight streamed stages: cancel their contexts,
+	// poison their pipes so blocked reads/writes return, and wait. Run on
+	// every exit path so no goroutine outlives Execute.
+	finish := func(failure error) {
+		cancel()
+		if failure == nil {
+			failure = io.ErrClosedPipe
+		}
+		for _, pr := range pipes {
+			pr.CloseWithError(failure)
+		}
+		streamWG.Wait()
+	}
+
+	var (
+		chunks   []string  // non-nil while the stream is split across k views
+		data     string    // the stream, while materialized
+		haveData bool      // data is valid
+		cur      io.Reader // the stream, while live
+	)
+	switch {
+	case p.InputFile != "":
+		d, err := ex.env.FS.Read(p.InputFile)
+		if err != nil {
+			return nil, err
+		}
+		data, haveData = d, true
+	case stdin == nil:
+		haveData = true
+	case !ex.external:
+		// In-memory stdin (the compat wrappers): the input is already
+		// materialized, so read it up front and let parallel stages
+		// chunk it — preserving the legacy T_k behaviour.
+		buf, err := io.ReadAll(stdin)
+		if err != nil {
+			return nil, err
+		}
+		data, haveData = textio.View(buf), true
+	default:
+		cur = newAsyncReader(ctx, stdin)
+	}
+
+	for i := range p.Stages {
+		sp := p.Stages[i]
+		m := &metrics[i]
+		m.Spec = sp.Spec
+		if err := ctx.Err(); err != nil {
+			finish(err)
+			return metrics, err
+		}
+		if chunks != nil {
+			// Split stream: the planner guarantees only parallel stages
+			// follow an eliminated combiner.
+			if !sp.Parallel || ex.k <= 1 {
+				finish(errSplitSerial)
+				return metrics, fmt.Errorf("%w %q", errSplitSerial, sp.Spec)
+			}
+			keep, combined, cerr := ex.runSplitStage(ctx, sp, chunks, m)
+			if cerr != nil {
+				finish(cerr)
+				return metrics, cerr
+			}
+			if keep != nil {
+				chunks = keep
+				continue
+			}
+			chunks = nil
+			data, haveData = combined, true
+			continue
+		}
+		if !haveData && streamableStage(sp) {
+			// Live stream, incremental stage: overlap through a pipe.
+			pr, pw := io.Pipe()
+			pipes = append(pipes, pr)
+			in := cur
+			m.Streamed = true
+			var bytesIn, bytesOut atomic.Int64
+			start := time.Now()
+			streamWG.Add(1)
+			go func(sp *StagePlan, m *StageMetrics) {
+				defer streamWG.Done()
+				cr := &countReader{r: in, n: &bytesIn}
+				cw := &countWriter{w: pw, n: &bytesOut}
+				serr := unix.Exec(ctx, sp.Cmd, cr, cw)
+				m.Wall = time.Since(start)
+				m.BytesIn = bytesIn.Load()
+				m.BytesOut = bytesOut.Load()
+				if serr != nil {
+					var up *stageError
+					if !errors.As(serr, &up) {
+						serr = &stageError{spec: sp.Spec, err: serr}
+					}
+					pw.CloseWithError(serr)
+					return
+				}
+				pw.Close()
+			}(sp, m)
+			cur = pr
+			continue
+		}
+		if !haveData {
+			// Live stream, whole-stream stage: buffer it. The drain time
+			// counts toward this stage's wall (as it does in pipelined
+			// mode, where the stage itself performs the read).
+			drainStart := time.Now()
+			buf, rerr := io.ReadAll(unix.ContextReader(ctx, cur))
+			if rerr != nil {
+				finish(rerr)
+				return metrics, rerr
+			}
+			m.Wall = time.Since(drainStart)
+			data, haveData = textio.View(buf), true
+		}
+		// Materialized stream.
+		m.BytesIn = int64(len(data))
+		if sp.Parallel && ex.k > 1 {
+			keep, combined, cerr := ex.runSplitStage(ctx, sp, textio.ChunkLines(data, ex.k), m)
+			if cerr != nil {
+				finish(cerr)
+				return metrics, cerr
+			}
+			if keep != nil {
+				chunks = keep
+				haveData = false
+				continue
+			}
+			data = combined
+		} else {
+			start := time.Now()
+			outStr, serr := sp.Cmd.Run(data)
+			if serr != nil {
+				serr = fmt.Errorf("pipeline: stage %q: %w", sp.Spec, serr)
+				finish(serr)
+				return metrics, serr
+			}
+			m.Wall += time.Since(start)
+			m.BytesOut = int64(len(outStr))
+			data = outStr
+		}
+	}
+	if chunks != nil {
+		finish(errSplitFinal)
+		return metrics, errSplitFinal
+	}
+	if haveData {
+		_, werr := io.WriteString(out, data)
+		finish(werr)
+		return metrics, werr
+	}
+	_, copyErr := io.Copy(out, unix.ContextReader(ctx, cur))
+	finish(copyErr)
+	return metrics, copyErr
+}
+
+// runPipelined executes the T_orig configuration: every stage runs
+// concurrently, connected by pipes. Streaming-capable stages process
+// incrementally; whole-stream stages buffer inside their goroutine. Stage
+// failures are collected in stage order and joined; an upstream failure
+// propagating through a pipe poisons the downstream stages without being
+// double-reported.
+func (ex *executor) runPipelined(p *Plan, src io.Reader, out io.Writer) ([]StageMetrics, error) {
+	ctx, cancel := context.WithCancel(ex.ctx)
+	defer cancel()
+	metrics := make([]StageMetrics, len(p.Stages))
+	fails := make([]error, len(p.Stages))
+	var (
+		wg    sync.WaitGroup
+		pipes []*io.PipeReader
+	)
+	reader := ex.source(ctx, src)
+	for i := range p.Stages {
+		sp := p.Stages[i]
+		m := &metrics[i]
+		m.Spec = sp.Spec
+		m.Streamed = unix.CanStream(sp.Cmd)
+		pr, pw := io.Pipe()
+		pipes = append(pipes, pr)
+		in := reader
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var bytesIn, bytesOut atomic.Int64
+			cr := &countReader{r: in, n: &bytesIn}
+			cw := &countWriter{w: pw, n: &bytesOut}
+			start := time.Now()
+			err := unix.Exec(ctx, sp.Cmd, cr, cw)
+			m.Wall = time.Since(start)
+			m.BytesIn = bytesIn.Load()
+			m.BytesOut = bytesOut.Load()
+			if err != nil {
+				var up *stageError
+				if errors.As(err, &up) {
+					// Upstream failure read off the pipe: pass it through
+					// without re-reporting it for this stage.
+					pw.CloseWithError(up)
+					return
+				}
+				se := &stageError{spec: sp.Spec, err: err}
+				fails[i] = se
+				pw.CloseWithError(se)
+				return
+			}
+			pw.Close()
+		}(i)
+		reader = pr
+	}
+	_, copyErr := io.Copy(out, unix.ContextReader(ctx, reader))
+	if copyErr != nil {
+		// Final sink failed (or ctx cancelled): poison every pipe so
+		// blocked stages unwind instead of leaking. The poison is wrapped
+		// as a pass-through stage error so live stages don't record the
+		// sink failure as their own.
+		cancel()
+		poison := copyErr
+		var se *stageError
+		if !errors.As(poison, &se) {
+			poison = &stageError{spec: "<output sink>", err: copyErr}
+		}
+		for _, pr := range pipes {
+			pr.CloseWithError(poison)
+		}
+	}
+	wg.Wait()
+	var errs []error
+	for _, f := range fails {
+		if f != nil {
+			errs = append(errs, f)
+		}
+	}
+	if copyErr != nil {
+		var up *stageError
+		if !errors.As(copyErr, &up) || len(errs) == 0 {
+			// The copy error is either independent of any stage failure or
+			// the only record of one that slipped past the fails slice.
+			already := false
+			for _, e := range errs {
+				if errors.Is(copyErr, e) || errors.Is(e, copyErr) {
+					already = true
+				}
+			}
+			if !already {
+				errs = append(errs, copyErr)
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return metrics, errors.Join(errs...)
+	}
+	return metrics, nil
+}

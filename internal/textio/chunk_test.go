@@ -1,0 +1,133 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChunkOffsetsMatchChunkLines cross-checks the zero-copy offset
+// splitter against the string splitter on a range of shapes and k values.
+func TestChunkOffsetsMatchChunkLines(t *testing.T) {
+	inputs := []string{
+		"",
+		"a",
+		"\n",
+		"a\n",
+		"a\nb\nc\nd\ne\n",
+		"one line no terminator",
+		"first\nsecond\nthird, unterminated",
+		strings.Repeat("x\n", 100),
+		strings.Repeat("a longer line of text here\n", 37) + "tail",
+	}
+	for _, s := range inputs {
+		for _, k := range []int{1, 2, 3, 4, 7, 16, 64} {
+			want := ChunkLines(s, k)
+			offs := ChunkOffsets([]byte(s), k)
+			if len(offs) != max(k, 1)+1 {
+				t.Fatalf("ChunkOffsets(%q, %d): %d offsets, want %d", s, k, len(offs), max(k, 1)+1)
+			}
+			if offs[0] != 0 || offs[len(offs)-1] != len(s) {
+				t.Fatalf("ChunkOffsets(%q, %d) = %v: bad endpoints", s, k, offs)
+			}
+			for i, w := range want {
+				got := s[offs[i]:offs[i+1]]
+				if got != w {
+					t.Errorf("ChunkOffsets(%q, %d) chunk %d = %q, want %q", s, k, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkViewsBoundaries pins the edge cases: empty input, input without
+// a trailing newline, and k larger than the line count.
+func TestChunkViewsBoundaries(t *testing.T) {
+	// Empty input: k empty views.
+	views := ChunkViews(nil, 4)
+	if len(views) != 4 {
+		t.Fatalf("ChunkViews(nil, 4) = %d views", len(views))
+	}
+	for i, v := range views {
+		if len(v) != 0 {
+			t.Errorf("empty input view %d = %q", i, v)
+		}
+	}
+
+	// k <= 1: a single view of the whole input.
+	views = ChunkViews([]byte("a\nb\n"), 1)
+	if len(views) != 1 || string(views[0]) != "a\nb\n" {
+		t.Errorf("ChunkViews(k=1) = %q", views)
+	}
+	views = ChunkViews([]byte("a\nb\n"), 0)
+	if len(views) != 1 || string(views[0]) != "a\nb\n" {
+		t.Errorf("ChunkViews(k=0) = %q", views)
+	}
+
+	// No trailing newline: the unterminated tail stays in the last
+	// nonempty view and concatenation round-trips.
+	data := []byte("alpha\nbeta\ngamma")
+	views = ChunkViews(data, 3)
+	var cat string
+	for _, v := range views {
+		cat += string(v)
+	}
+	if cat != string(data) {
+		t.Errorf("concat of views = %q, want %q", cat, data)
+	}
+
+	// k > lines: trailing views must be empty, concatenation preserved.
+	data = []byte("B\na\n")
+	views = ChunkViews(data, 64)
+	if len(views) != 64 {
+		t.Fatalf("ChunkViews(2 lines, 64) = %d views", len(views))
+	}
+	cat = ""
+	nonempty := 0
+	for _, v := range views {
+		cat += string(v)
+		if len(v) > 0 {
+			nonempty++
+		}
+	}
+	if cat != "B\na\n" || nonempty > 2 {
+		t.Errorf("k>lines: concat=%q nonempty=%d", cat, nonempty)
+	}
+
+	// Every view is line-aligned: a nonempty view that is followed by a
+	// nonempty view must end in '\n'.
+	data = []byte(strings.Repeat("line of words\n", 50))
+	views = ChunkViews(data, 8)
+	for i, v := range views[:len(views)-1] {
+		if len(v) > 0 && v[len(v)-1] != '\n' {
+			t.Errorf("view %d not line-aligned: %q", i, v)
+		}
+	}
+}
+
+// TestChunkViewsZeroCopy verifies the views alias the input buffer rather
+// than copying it.
+func TestChunkViewsZeroCopy(t *testing.T) {
+	data := []byte("aa\nbb\ncc\ndd\n")
+	views := ChunkViews(data, 2)
+	if len(views) != 2 || len(views[0]) == 0 {
+		t.Fatalf("unexpected views %q", views)
+	}
+	data[0] = 'Z'
+	if views[0][0] != 'Z' {
+		t.Error("ChunkViews copied the buffer; views must alias the input")
+	}
+}
+
+// TestView pins the no-copy string view helper.
+func TestView(t *testing.T) {
+	if got := View(nil); got != "" {
+		t.Errorf("View(nil) = %q", got)
+	}
+	b := []byte("hello\n")
+	if got := View(b); got != "hello\n" {
+		t.Errorf("View = %q", got)
+	}
+	if got := View(b[:0]); got != "" {
+		t.Errorf("View(empty) = %q", got)
+	}
+}

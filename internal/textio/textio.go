@@ -6,7 +6,11 @@
 // separated by '\n', lines as words separated by ' ', and so on.
 package textio
 
-import "strings"
+import (
+	"bytes"
+	"strings"
+	"unsafe"
+)
 
 // IsStream reports whether s is a stream per Definition 3.1: a string that
 // ends with a newline character. The empty string is not a stream.
@@ -194,33 +198,88 @@ func CountByte(d byte, s string) int {
 	return strings.Count(s, string(d))
 }
 
+// ChunkOffsets computes the k-way line-aligned split of data as k+1 byte
+// offsets: chunk i is data[offs[i]:offs[i+1]]. Offsets are monotonically
+// nondecreasing, offs[0] == 0 and offs[k] == len(data), and every interior
+// offset sits immediately after a '\n'. Chunks are balanced by byte count:
+// each split point is the first line boundary at or after the ideal byte
+// offset. When data has fewer lines than k, trailing chunks are empty
+// (consecutive equal offsets).
+//
+// This is the zero-copy core of the pipeline input splitter: callers slice
+// a single backing buffer instead of materializing per-chunk copies.
+func ChunkOffsets(data []byte, k int) []int {
+	return chunkOffsets(len(data), k, func(from int) int {
+		return bytes.IndexByte(data[from:], '\n')
+	})
+}
+
+// chunkOffsets is the shared split core behind ChunkOffsets and
+// ChunkLines: n is the input length and index returns the position of the
+// next '\n' at or after an offset, relative to that offset (-1 if none).
+func chunkOffsets(n, k int, index func(from int) int) []int {
+	if k <= 1 {
+		return []int{0, n}
+	}
+	offs := make([]int, 1, k+1)
+	start := 0
+	for i := 0; i < k-1; i++ {
+		target := start + (n-start)/(k-i)
+		j := index(target)
+		if j < 0 {
+			break
+		}
+		cut := target + j + 1
+		offs = append(offs, cut)
+		start = cut
+	}
+	offs = append(offs, n)
+	for len(offs) < k+1 {
+		offs = append(offs, n)
+	}
+	return offs
+}
+
+// ChunkViews splits data into k line-aligned subslices that share data's
+// backing array (no bytes are copied). The concatenation of the views
+// equals data; trailing views are empty when data has fewer lines than k.
+// Callers must not mutate data while the views are alive.
+//
+// This is the []byte face of the splitter for byte-buffer callers; the
+// executor splits its materialized streams through ChunkLines, whose
+// substrings are the same zero-copy views over the same offsets core.
+func ChunkViews(data []byte, k int) [][]byte {
+	offs := ChunkOffsets(data, k)
+	views := make([][]byte, len(offs)-1)
+	for i := range views {
+		views[i] = data[offs[i]:offs[i+1]]
+	}
+	return views
+}
+
+// View returns b's bytes as a string without copying. The caller must
+// guarantee b is never mutated afterwards — the executor upholds this by
+// treating stage input buffers as immutable once chunked.
+func View(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
 // ChunkLines splits stream s into k line-aligned substreams whose
 // concatenation equals s. Chunks are balanced by byte count: each split
 // point is the first line boundary at or after the ideal byte offset.
 // Fewer than k nonempty chunks may be returned when s has fewer lines than
 // k; trailing chunks are then empty strings so that len(result) == k.
 //
-// This is the input splitter for the data-parallel pipeline: inputs are
-// split only at line boundaries so that every chunk is itself a stream.
+// The substrings share s's backing array (Go substring slicing does not
+// copy) and come from the same split core as ChunkOffsets/ChunkViews, so
+// the string and []byte splitters always agree.
 func ChunkLines(s string, k int) []string {
-	if k <= 1 {
-		return []string{s}
-	}
-	chunks := make([]string, 0, k)
-	remaining := s
-	for i := 0; i < k-1; i++ {
-		target := len(remaining) / (k - i)
-		j := strings.IndexByte(remaining[min(target, len(remaining)):], '\n')
-		if j < 0 {
-			break
-		}
-		cut := min(target, len(remaining)) + j + 1
-		chunks = append(chunks, remaining[:cut])
-		remaining = remaining[cut:]
-	}
-	chunks = append(chunks, remaining)
-	for len(chunks) < k {
-		chunks = append(chunks, "")
+	offs := chunkOffsets(len(s), k, func(from int) int {
+		return strings.IndexByte(s[from:], '\n')
+	})
+	chunks := make([]string, len(offs)-1)
+	for i := range chunks {
+		chunks[i] = s[offs[i]:offs[i+1]]
 	}
 	return chunks
 }

@@ -12,9 +12,13 @@
 package unix
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
+
+	"kumquat/internal/textio"
 )
 
 // Command is a deterministic computation over an input stream
@@ -40,12 +44,111 @@ type LineMapper interface {
 	MapLine(line string) []string
 }
 
-// Streamer is implemented by commands that can process input incrementally.
-// LineMappers get a Streamer implementation for free via StreamCommand.
+// Streamer is the primary execution contract for incremental commands:
+// input is consumed from r and output produced on w without materializing
+// either stream, and ctx cancels the computation between lines/chunks.
+// LineMappers get a Streamer implementation for free via AsStreamer; only
+// genuinely whole-stream commands (sort, wc, uniq -c, ...) fall back to
+// the buffering Command.Run path inside Exec.
 type Streamer interface {
 	Command
-	// StreamTo consumes lines from r and writes output to w incrementally.
-	StreamTo(r io.Reader, w io.Writer) error
+	// StreamTo consumes input from r and writes output to w incrementally,
+	// returning ctx.Err() promptly when ctx is cancelled mid-stream.
+	StreamTo(ctx context.Context, r io.Reader, w io.Writer) error
+}
+
+// AsLineMapper probes a command's line-streaming capability, honouring the
+// flag-dependent AsLineMapper escape hatch (tr -s and sed Nq are not
+// line-independent even though their types implement MapLine).
+func AsLineMapper(c Command) (LineMapper, bool) {
+	type asLM interface {
+		AsLineMapper() (LineMapper, bool)
+	}
+	if a, ok := c.(asLM); ok {
+		return a.AsLineMapper()
+	}
+	if lm, ok := c.(LineMapper); ok {
+		return lm, true
+	}
+	return nil, false
+}
+
+// AsStreamer adapts a command to the Streamer contract: commands that
+// implement it directly are returned as-is, line mappers are wrapped, and
+// whole-stream commands report false.
+func AsStreamer(c Command) (Streamer, bool) {
+	if s, ok := c.(Streamer); ok {
+		return s, true
+	}
+	if lm, ok := AsLineMapper(c); ok {
+		return lineMapperStreamer{lm}, true
+	}
+	return nil, false
+}
+
+// CanStream reports whether Exec would run the command incrementally.
+func CanStream(c Command) bool {
+	_, ok := AsStreamer(c)
+	return ok
+}
+
+// Exec is the execution entry point over readers and writers: streaming
+// commands process r incrementally; whole-stream commands buffer r, run,
+// and write their full output to w. ctx cancels either path — between
+// lines for streamed commands, between the read/run/write phases for
+// buffered ones (a Read that keeps returning data observes cancellation
+// on its next call via the context-checking wrapper).
+func Exec(ctx context.Context, cmd Command, r io.Reader, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s, ok := AsStreamer(cmd); ok {
+		return s.StreamTo(ctx, ContextReader(ctx, r), w)
+	}
+	buf, err := io.ReadAll(ContextReader(ctx, r))
+	if err != nil {
+		return err
+	}
+	out, err := cmd.Run(textio.View(buf))
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, out)
+	return err
+}
+
+// lineMapperStreamer adapts a LineMapper to the Streamer contract.
+type lineMapperStreamer struct {
+	LineMapper
+}
+
+func (s lineMapperStreamer) StreamTo(ctx context.Context, r io.Reader, w io.Writer) error {
+	return streamLineMapper(ctx, s.LineMapper, r, w)
+}
+
+// ContextReader wraps r so that every Read first observes ctx: once ctx is
+// done, Read returns ctx.Err(). A Read already blocked inside r is not
+// interrupted — callers unblock those by closing the underlying pipe.
+func ContextReader(ctx context.Context, r io.Reader) io.Reader {
+	if r == nil {
+		r = strings.NewReader("")
+	}
+	return &ctxReader{ctx: ctx, r: r}
+}
+
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (cr *ctxReader) Read(p []byte) (int, error) {
+	if err := cr.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cr.r.Read(p)
 }
 
 // runLineMapper evaluates a LineMapper over a whole input stream.
@@ -71,12 +174,18 @@ func runLineMapper(lm LineMapper, input string) string {
 	return b.String()
 }
 
-// StreamLineMapper drives a LineMapper incrementally from r to w, used by
-// the pipelined (T_orig) executor to overlap pipeline stages.
-func StreamLineMapper(lm LineMapper, r io.Reader, w io.Writer) error {
+// streamLineMapper drives a LineMapper incrementally from r to w, checking
+// ctx every few lines so a cancelled execution aborts promptly without
+// paying a per-line context poll on the hot path.
+func streamLineMapper(ctx context.Context, lm LineMapper, r io.Reader, w io.Writer) error {
 	br := newLineReader(r)
 	bw := newChunkWriter(w)
-	for {
+	for n := 0; ; n++ {
+		if n&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		line, err := br.readLine()
 		if err == io.EOF {
 			break
@@ -97,8 +206,10 @@ func StreamLineMapper(lm LineMapper, r io.Reader, w io.Writer) error {
 type lineReader struct {
 	r   io.Reader
 	buf []byte
-	// pending holds read-but-unconsumed bytes.
+	// pending holds read-but-unconsumed bytes; pending[:scanned] is known
+	// to contain no newline, so each refill only scans the new tail.
 	pending []byte
+	scanned int
 	eof     bool
 }
 
@@ -110,15 +221,19 @@ func newLineReader(r io.Reader) *lineReader {
 // input is exhausted. A final unterminated line is returned before EOF.
 func (lr *lineReader) readLine() (string, error) {
 	for {
-		if i := indexByte(lr.pending, '\n'); i >= 0 {
-			line := string(lr.pending[:i])
-			lr.pending = lr.pending[i+1:]
+		if i := bytes.IndexByte(lr.pending[lr.scanned:], '\n'); i >= 0 {
+			end := lr.scanned + i
+			line := string(lr.pending[:end])
+			lr.pending = lr.pending[end+1:]
+			lr.scanned = 0
 			return line, nil
 		}
+		lr.scanned = len(lr.pending)
 		if lr.eof {
 			if len(lr.pending) > 0 {
 				line := string(lr.pending)
 				lr.pending = nil
+				lr.scanned = 0
 				return line, nil
 			}
 			return "", io.EOF
@@ -133,15 +248,6 @@ func (lr *lineReader) readLine() (string, error) {
 			return "", err
 		}
 	}
-}
-
-func indexByte(b []byte, c byte) int {
-	for i, x := range b {
-		if x == c {
-			return i
-		}
-	}
-	return -1
 }
 
 // chunkWriter batches line writes to reduce io.Pipe round trips.

@@ -1,6 +1,7 @@
 package unix
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -465,7 +466,7 @@ func TestLineMapperAgreesWithRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", spec, err)
 		}
-		lm, ok := asLineMapper(cmd)
+		lm, ok := AsLineMapper(cmd)
 		if !ok {
 			t.Errorf("%q should be a LineMapper", spec)
 			continue
@@ -477,30 +478,22 @@ func TestLineMapperAgreesWithRun(t *testing.T) {
 	}
 }
 
-// asLineMapper mirrors the pipeline's capability probe.
-func asLineMapper(c Command) (LineMapper, bool) {
-	type asLM interface {
-		AsLineMapper() (LineMapper, bool)
-	}
-	if a, ok := c.(asLM); ok {
-		return a.AsLineMapper()
-	}
-	if lm, ok := c.(LineMapper); ok {
-		return lm, true
-	}
-	return nil, false
-}
-
 func TestStreamLineMapper(t *testing.T) {
 	cmd, _ := Parse("grep light", nil)
-	lm, _ := asLineMapper(cmd)
+	lm, _ := AsLineMapper(cmd)
 	var out strings.Builder
 	in := strings.NewReader("light\ndark\nlight x\n")
-	if err := StreamLineMapper(lm, in, &out); err != nil {
+	if err := streamLineMapper(context.Background(), lm, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != "light\nlight x\n" {
-		t.Errorf("StreamLineMapper = %q", out.String())
+		t.Errorf("streamLineMapper = %q", out.String())
+	}
+	// Exec reaches the same path through the primary contract.
+	out.Reset()
+	err := Exec(context.Background(), cmd, strings.NewReader("dark\nlight y\n"), &out)
+	if err != nil || out.String() != "light y\n" {
+		t.Errorf("Exec = %q, %v", out.String(), err)
 	}
 }
 

@@ -22,6 +22,13 @@
 package kumquat
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
 	"kumquat/internal/dsl"
 	"kumquat/internal/pipeline"
 	"kumquat/internal/synth"
@@ -156,19 +163,24 @@ func (p *Plan) Stages() []StageInfo {
 	var out []StageInfo
 	for _, plan := range p.plans {
 		for _, sp := range plan.Stages {
-			info := StageInfo{
-				Spec:       sp.Spec,
-				Parallel:   sp.Parallel,
-				Sequential: sp.Sequential,
-				Eliminated: sp.Eliminated,
-			}
-			if sp.Synth != nil && sp.Synth.Err == nil {
-				info.Combiner = sp.Synth.Combiner.String()
-			}
-			out = append(out, info)
+			out = append(out, stageInfo(sp))
 		}
 	}
 	return out
+}
+
+// stageInfo converts a compiled stage's planning verdict to its public form.
+func stageInfo(sp *pipeline.StagePlan) StageInfo {
+	info := StageInfo{
+		Spec:       sp.Spec,
+		Parallel:   sp.Parallel,
+		Sequential: sp.Sequential,
+		Eliminated: sp.Eliminated,
+	}
+	if sp.Synth != nil && sp.Synth.Err == nil {
+		info.Combiner = sp.Synth.Combiner.String()
+	}
+	return info
 }
 
 // StageInfo is one stage's planning verdict.
@@ -180,50 +192,249 @@ type StageInfo struct {
 	Eliminated bool
 }
 
-// run executes all pipelines in order with the given per-pipeline runner,
-// wiring output redirects through the environment.
-func (p *Plan) run(exec func(*pipeline.Plan) (string, error)) (string, error) {
-	var final string
-	for i, plan := range p.plans {
-		out, err := exec(plan)
-		if err != nil {
-			return "", err
-		}
-		if p.outs[i] != "" {
-			p.env.Register(p.outs[i], out)
-		} else {
-			final += out
+// Mode selects an execution configuration for Plan.Execute; the four
+// values mirror the paper's measurement setups.
+type Mode int
+
+const (
+	// Optimized is T_k: the optimized data-parallel pipeline with combiner
+	// elimination and streaming stage overlap.
+	Optimized Mode = iota
+	// Unoptimized is u_k: a combiner after every parallel stage, with a
+	// barrier at every stage boundary.
+	Unoptimized
+	// Serial is u_1: every stage runs to completion in order.
+	Serial
+	// Pipelined is T_orig: the original pipeline with Unix-style stage
+	// overlap and no data parallelism.
+	Pipelined
+)
+
+func (m Mode) String() string {
+	pm, err := m.internal()
+	if err != nil {
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+	return pm.String()
+}
+
+// ParseMode parses a mode name ("optimized", "unoptimized", "serial",
+// "pipelined") — the inverse of Mode.String, for CLI flags.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{Optimized, Unoptimized, Serial, Pipelined} {
+		if m.String() == s {
+			return m, nil
 		}
 	}
-	return final, nil
+	return 0, fmt.Errorf("kumquat: unknown mode %q (want optimized, unoptimized, serial or pipelined)", s)
+}
+
+func (m Mode) internal() (pipeline.Mode, error) {
+	switch m {
+	case Optimized:
+		return pipeline.ModeOptimized, nil
+	case Unoptimized:
+		return pipeline.ModeUnoptimized, nil
+	case Serial:
+		return pipeline.ModeSerial, nil
+	case Pipelined:
+		return pipeline.ModePipelined, nil
+	default:
+		return 0, fmt.Errorf("kumquat: unknown execution mode Mode(%d)", int(m))
+	}
+}
+
+// ExecOption configures Plan.Execute.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	k     int
+	mode  Mode
+	stdin io.Reader
+	out   io.Writer
+}
+
+// WithParallelism sets the data-parallelism degree k (default:
+// runtime.GOMAXPROCS(0)).
+func WithParallelism(k int) ExecOption {
+	return func(c *execConfig) { c.k = k }
+}
+
+// WithMode selects the execution configuration (default: Optimized).
+func WithMode(m Mode) ExecOption {
+	return func(c *execConfig) { c.mode = m }
+}
+
+// WithStdin supplies the standard-input stream for pipelines that read
+// standard input (no `cat FILE` source). The reader is consumed
+// incrementally: streaming stages pull from it on demand rather than
+// materializing it. Default: empty input.
+func WithStdin(r io.Reader) ExecOption {
+	return func(c *execConfig) { c.stdin = r }
+}
+
+// WithOutput directs the final output stream to w instead of buffering it
+// into RunReport.Output. Streaming stages write to w incrementally, so a
+// pipeline of line-streaming stages runs in bounded memory end to end.
+func WithOutput(w io.Writer) ExecOption {
+	return func(c *execConfig) { c.out = w }
+}
+
+// StageReport is one stage's planning verdict together with its execution
+// measurements from a single Execute call.
+type StageReport struct {
+	StageInfo
+	// Pipeline is the index of the script pipeline the stage belongs to.
+	Pipeline int
+	// Wall is the stage's wall-clock activity time. Streamed stages
+	// overlap, so stage walls can sum to more than the report's Wall.
+	Wall time.Duration
+	// BytesIn and BytesOut measure the stage's stream volume.
+	BytesIn  int64
+	BytesOut int64
+	// Chunks is the number of parallel instances the stage ran as
+	// (0 when the stage was not chunked).
+	Chunks int
+	// Streamed marks stages that processed their input incrementally.
+	Streamed bool
+}
+
+// RunReport describes one Execute call: total wall time, bytes read from
+// the sources and written to the sink, and per-stage verdicts and metrics.
+type RunReport struct {
+	// Mode and Parallelism echo the execution configuration.
+	Mode        Mode
+	Parallelism int
+	// Wall is the end-to-end wall-clock time of the run.
+	Wall time.Duration
+	// BytesIn is the total stream volume entering the first stage of each
+	// pipeline; BytesOut is the total written to the output sink
+	// (redirected pipelines count toward neither).
+	BytesIn  int64
+	BytesOut int64
+	// Stages holds one entry per stage across all pipelines, in order.
+	Stages []StageReport
+	// Output is the captured output stream when no WithOutput sink was
+	// given; empty otherwise.
+	Output string
+}
+
+// Execute runs the compiled plan. It is the primary execution entry point:
+// input and output are streams (WithStdin/WithOutput), ctx cancels the run
+// promptly in every mode, and the returned RunReport carries per-stage
+// wall times, byte counts, chunk counts and planning verdicts.
+//
+//	rep, err := plan.Execute(ctx,
+//	    kumquat.WithParallelism(16),
+//	    kumquat.WithStdin(os.Stdin),
+//	    kumquat.WithOutput(os.Stdout))
+//
+// The legacy Run/RunUnoptimized/RunSerial/RunPipelined methods are thin
+// wrappers over Execute with a buffered output sink.
+func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, error) {
+	cfg := execConfig{k: runtime.GOMAXPROCS(0), mode: Optimized}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.k < 1 {
+		cfg.k = 1
+	}
+	mode, err := cfg.mode.internal()
+	if err != nil {
+		return nil, err
+	}
+	// Serial and pipelined modes run one instance per stage; reporting
+	// the requested k would overstate what ran.
+	if cfg.mode == Serial || cfg.mode == Pipelined {
+		cfg.k = 1
+	}
+	var captured *strings.Builder
+	sink := cfg.out
+	if sink == nil {
+		captured = &strings.Builder{}
+		sink = captured
+	}
+	rep := &RunReport{Mode: cfg.mode, Parallelism: cfg.k}
+	counted := &countingWriter{w: sink}
+	start := time.Now()
+	for i, plan := range p.plans {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var target io.Writer = counted
+		var redirect *strings.Builder
+		if p.outs[i] != "" {
+			redirect = &strings.Builder{}
+			target = redirect
+		}
+		ms, err := plan.Execute(ctx, p.env.u, cfg.stdin, target, mode, cfg.k)
+		if err != nil {
+			return nil, err
+		}
+		for j, m := range ms {
+			sr := StageReport{
+				Pipeline: i,
+				Wall:     m.Wall,
+				BytesIn:  m.BytesIn,
+				BytesOut: m.BytesOut,
+				Chunks:   m.Chunks,
+				Streamed: m.Streamed,
+			}
+			if j < len(plan.Stages) {
+				sr.StageInfo = stageInfo(plan.Stages[j])
+			}
+			// Redirected pipelines count toward neither total (their
+			// output never reaches the sink either).
+			if j == 0 && redirect == nil {
+				rep.BytesIn += m.BytesIn
+			}
+			rep.Stages = append(rep.Stages, sr)
+		}
+		if redirect != nil {
+			p.env.Register(p.outs[i], redirect.String())
+		}
+	}
+	rep.Wall = time.Since(start)
+	rep.BytesOut = counted.n
+	if captured != nil {
+		rep.Output = captured.String()
+	}
+	return rep, nil
+}
+
+// countingWriter tallies bytes written to the final sink.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// runCompat executes through Execute with a buffered sink and returns the
+// captured output — the shared body of the legacy string-based entry
+// points.
+func (p *Plan) runCompat(mode Mode, k int) (string, error) {
+	rep, err := p.Execute(context.Background(), WithMode(mode), WithParallelism(k))
+	if err != nil {
+		return "", err
+	}
+	return rep.Output, nil
 }
 
 // Run executes the optimized data-parallel pipeline with k-way parallelism
 // (the paper's T_k configuration).
-func (p *Plan) Run(k int) (string, error) {
-	return p.run(func(pl *pipeline.Plan) (string, error) {
-		return pl.RunOptimized(p.env.u, "", k)
-	})
-}
+func (p *Plan) Run(k int) (string, error) { return p.runCompat(Optimized, k) }
 
 // RunUnoptimized executes with a combiner after every stage (u_k).
-func (p *Plan) RunUnoptimized(k int) (string, error) {
-	return p.run(func(pl *pipeline.Plan) (string, error) {
-		return pl.RunParallel(p.env.u, "", k)
-	})
-}
+func (p *Plan) RunUnoptimized(k int) (string, error) { return p.runCompat(Unoptimized, k) }
 
 // RunSerial executes every stage to completion in order (u_1).
-func (p *Plan) RunSerial() (string, error) {
-	return p.run(func(pl *pipeline.Plan) (string, error) {
-		return pl.RunSerial(p.env.u, "")
-	})
-}
+func (p *Plan) RunSerial() (string, error) { return p.runCompat(Serial, 1) }
 
 // RunPipelined executes the original pipeline with Unix-style stage
 // overlap (the T_orig configuration).
-func (p *Plan) RunPipelined() (string, error) {
-	return p.run(func(pl *pipeline.Plan) (string, error) {
-		return pl.RunPipelined(p.env.u, "")
-	})
-}
+func (p *Plan) RunPipelined() (string, error) { return p.runCompat(Pipelined, 1) }
