@@ -9,6 +9,8 @@
 //	kqbench -table 10 -scale 500  # synthesis results, smaller inputs
 //	kqbench -bench-exec OUT.json  # buffered-vs-streaming executor smoke
 //	                              # run on the wordfreq pipeline
+//	kqbench -bench-synth OUT.json # sequential-vs-parallel synthesis and
+//	                              # cold-vs-warm combiner cache comparison
 package main
 
 import (
@@ -26,11 +28,19 @@ func main() {
 	table := flag.String("table", "all", "table to print: 1,3,4,5,6,7,8,9,10,summary,all")
 	scale := flag.Int("scale", 4000, "approximate input lines per script")
 	benchExec := flag.String("bench-exec", "", "write a buffered-vs-streaming executor comparison (wordfreq pipeline) to this JSON file and exit")
+	benchSynth := flag.String("bench-synth", "", "write a sequential-vs-parallel synthesis and cold-vs-warm cache comparison to this JSON file and exit")
 	k := flag.Int("k", 8, "parallelism degree for -bench-exec")
+	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool for -bench-synth (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *benchExec != "" {
 		if err := writeBenchExec(*benchExec, *scale, *k); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchSynth != "" {
+		if err := writeBenchSynth(*benchSynth, *synthWorkers); err != nil {
 			fatal(err)
 		}
 		return
@@ -176,6 +186,35 @@ func writeBenchExec(path string, scale, k int) error {
 	fmt.Printf("agree=%v -> %s\n", cmp.Agree, path)
 	if !cmp.Agree {
 		return fmt.Errorf("executor outputs disagree")
+	}
+	return nil
+}
+
+// writeBenchSynth runs the synthesis engine comparison and writes the
+// JSON report, echoing one line per measurement to stdout.
+func writeBenchSynth(path string, workers int) error {
+	cmp, err := bench.CompareSynth(workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, s := range cmp.Specs {
+		fmt.Printf("%-22s space=%-7d seq=%8.1f ms  par=%8.1f ms  speedup=%.2fx\n",
+			s.Spec, s.Space, s.SeqMS, s.ParMS, s.Speedup)
+	}
+	for _, ex := range cmp.Examples {
+		fmt.Printf("%-22s stages=%-2d cold=%8.1f ms  warm=%8.3f ms  hits=%d misses=%d\n",
+			ex.Name, ex.Stages, ex.ColdMS, ex.WarmMS, ex.Hits, ex.Misses)
+	}
+	fmt.Printf("workers=%d cpus=%d agree=%v -> %s\n", cmp.Workers, cmp.CPUs, cmp.Agree, path)
+	if !cmp.Agree {
+		return fmt.Errorf("parallel synthesis disagrees with sequential")
 	}
 	return nil
 }

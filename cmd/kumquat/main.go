@@ -59,10 +59,24 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  kumquat synth '<command>'
-  kumquat plan '<pipeline>'
-  kumquat run [-k N] [-mode MODE] [-report] [-input FILE]... '<pipeline>'
+  kumquat synth [-synth-workers N] [-synth-cache DIR] '<command>'
+  kumquat plan [-synth-workers N] [-synth-cache DIR] '<pipeline>'
+  kumquat run [-k N] [-mode MODE] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
   kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2`)
+}
+
+// synthFlags registers the synthesis-engine flags shared by the synth,
+// plan and run subcommands; the returned closure folds them into opts.
+func synthFlags(fs *flag.FlagSet) func(kumquat.Options) kumquat.Options {
+	workers := fs.Int("synth-workers", 0,
+		"synthesis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	cacheDir := fs.String("synth-cache", "",
+		"directory for the on-disk combiner cache (empty = memory only)")
+	return func(o kumquat.Options) kumquat.Options {
+		o.Workers = *workers
+		o.CacheDir = *cacheDir
+		return o
+	}
 }
 
 // runCombine applies a DSL combiner to two partial-output files — handy for
@@ -97,13 +111,14 @@ func runCombine(args []string) error {
 func runSynth(args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "synthesis random seed")
+	withSynth := synthFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("synth needs exactly one command argument")
 	}
-	sys := kumquat.NewWithOptions(nil, kumquat.Options{Seed: *seed})
+	sys := kumquat.NewWithOptions(nil, withSynth(kumquat.Options{Seed: *seed}))
 	start := time.Now()
 	res, err := sys.Synthesize(fs.Arg(0))
 	if res == nil {
@@ -125,13 +140,14 @@ func runSynth(args []string) error {
 
 func runPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	withSynth := synthFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("plan needs exactly one pipeline argument")
 	}
-	sys := kumquat.New(nil)
+	sys := kumquat.NewWithOptions(nil, withSynth(kumquat.Options{Seed: 1}))
 	plan, err := sys.Parallelize(fs.Arg(0) + "\n")
 	if err != nil {
 		return err
@@ -161,6 +177,7 @@ func runRun(args []string) error {
 	k := fs.Int("k", 8, "parallelism degree")
 	mode := fs.String("mode", "optimized", "execution mode: optimized, unoptimized, serial, pipelined")
 	report := fs.Bool("report", false, "print the per-stage execution report to stderr")
+	withSynth := synthFlags(fs)
 	var inputs multiFlag
 	fs.Var(&inputs, "input", "host file to load into the environment (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -181,7 +198,7 @@ func runRun(args []string) error {
 		}
 		env.Register(path, string(data))
 	}
-	sys := kumquat.New(env)
+	sys := kumquat.NewWithOptions(env, withSynth(kumquat.Options{Seed: 1}))
 	plan, err := sys.Parallelize(fs.Arg(0) + "\n")
 	if err != nil {
 		return err
@@ -215,6 +232,8 @@ func writeReport(rep *kumquat.RunReport) {
 	w := os.Stderr
 	fmt.Fprintf(w, "mode=%s k=%d wall=%v in=%dB out=%dB\n",
 		rep.Mode, rep.Parallelism, rep.Wall.Round(time.Microsecond), rep.BytesIn, rep.BytesOut)
+	fmt.Fprintf(w, "synth cache: %d hits, %d disk hits, %d misses\n",
+		rep.SynthCache.Hits, rep.SynthCache.DiskHits, rep.SynthCache.Misses)
 	for _, st := range rep.Stages {
 		how := "buffered"
 		switch {

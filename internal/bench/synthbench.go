@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"kumquat/internal/pipeline"
+	"kumquat/internal/synth"
+	"kumquat/internal/unix"
+)
+
+// synthBenchSpecs are the single-command synthesis workloads for the
+// sequential-vs-parallel comparison, one per search-space size class:
+// 2700 (1 delimiter), 26404 (2) and the full 110,444-candidate space (3).
+var synthBenchSpecs = []string{
+	"wc -l",
+	"uniq -c",
+	`cut -d ',' -f 1,2`,
+}
+
+// synthBenchExamples are the pipelines of the four examples/ programs,
+// the workloads for the cold-vs-warm cache comparison. Each registers
+// the input files its cat source reads, like the example programs do,
+// so the first stage synthesizes against real content rather than
+// short-circuiting on a missing file.
+var synthBenchExamples = []struct {
+	name     string
+	script   string
+	register func(env *unix.Env) error
+}{
+	{"quickstart", "cat data.txt | sort | uniq -c | sort -rn\n",
+		func(env *unix.Env) error {
+			env.FS.Register("data.txt", "pear\napple\npear\nquince\napple\npear\n")
+			return nil
+		}},
+	{"wordfreq", wordfreqScript,
+		func(env *unix.Env) error {
+			env.FS.Register("in/wf.txt", genWordfreqInput(400))
+			return nil
+		}},
+	{"unix50", `cat in/names.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn` + "\n",
+		func(env *unix.Env) error { return RegisterInputs(env, "names", 400) }},
+	{"analytics", `cat in/mts.csv | sed 's/T..:..:..//' | cut -d ',' -f 1,3 | sort -u | cut -d ',' -f 1 | sort | uniq -c | awk -v OFS="\t" "{print \$2,\$1}"` + "\n",
+		func(env *unix.Env) error { return RegisterInputs(env, "mts", 400) }},
+}
+
+// SynthSpecResult is one command's sequential-vs-parallel synthesis
+// measurement.
+type SynthSpecResult struct {
+	Spec      string  `json:"spec"`
+	Space     int     `json:"space"`
+	Plausible int     `json:"plausible"`
+	SeqMS     float64 `json:"seq_ms"`
+	ParMS     float64 `json:"par_ms"`
+	Speedup   float64 `json:"speedup"`
+	Agree     bool    `json:"agree"`
+}
+
+// SynthExampleResult is one example pipeline's cold-vs-warm compilation
+// measurement through a shared engine.
+type SynthExampleResult struct {
+	Name        string  `json:"name"`
+	Stages      int     `json:"stages"`
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	Hits        int64   `json:"cache_hits"`
+	Misses      int64   `json:"cache_misses"`
+}
+
+// SynthComparison is the BENCH_synth.json payload: parallel-vs-sequential
+// synthesis wall times per search-space class, and cold-vs-warm combiner
+// cache timings for the four example pipelines.
+type SynthComparison struct {
+	Workers int `json:"workers"`
+	// CPUs is the machine's core count: the ceiling on any parallel
+	// speedup (on a single-core machine Speedup ≈ 1.0 is expected).
+	CPUs     int                  `json:"cpus"`
+	Specs    []SynthSpecResult    `json:"specs"`
+	Examples []SynthExampleResult `json:"examples"`
+	// Agree reports that every parallel synthesis reproduced the
+	// sequential plausible set and combiner byte-for-byte.
+	Agree bool `json:"agree"`
+}
+
+// CompareSynth benchmarks the synthesis engine: each spec is synthesized
+// with a sequential (Workers=1) and a parallel (Workers=workers) engine
+// on cold caches and the results compared; then the four example
+// pipelines are compiled twice through one shared engine to measure the
+// warm-cache path. workers <= 0 selects GOMAXPROCS.
+func CompareSynth(workers int) (*SynthComparison, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx := context.Background()
+	cmp := &SynthComparison{Workers: workers, CPUs: runtime.NumCPU(), Agree: true}
+
+	for _, spec := range synthBenchSpecs {
+		seq := synth.New(unix.DefaultEnv(), synth.Options{Seed: 1, Workers: 1, CacheSize: -1})
+		par := synth.New(unix.DefaultEnv(), synth.Options{Seed: 1, Workers: workers, CacheSize: -1})
+
+		start := time.Now()
+		rs, err := seq.Synthesize(ctx, spec)
+		seqWall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sequential %q: %w", spec, err)
+		}
+		start = time.Now()
+		rp, err := par.Synthesize(ctx, spec)
+		parWall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parallel %q: %w", spec, err)
+		}
+
+		agree := rs.Combiner.String() == rp.Combiner.String() &&
+			len(rs.Plausible) == len(rp.Plausible)
+		for i := range rs.Plausible {
+			if !agree || rs.Plausible[i].String() != rp.Plausible[i].String() {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			cmp.Agree = false
+		}
+		cmp.Specs = append(cmp.Specs, SynthSpecResult{
+			Spec:      spec,
+			Space:     rs.Space.Total(),
+			Plausible: len(rs.Plausible),
+			SeqMS:     ms(seqWall),
+			ParMS:     ms(parWall),
+			Speedup:   Speedup(seqWall, parWall),
+			Agree:     agree,
+		})
+	}
+
+	// Cold vs warm: per example, a fresh engine compiles the pipeline
+	// twice. The second pass resolves every stage from the combiner
+	// cache, so WarmMS is the O(lookup) path.
+	for _, ex := range synthBenchExamples {
+		env := unix.DefaultEnv()
+		if err := ex.register(env); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", ex.name, err)
+		}
+		eng := synth.New(env, synth.Options{Seed: 1, Workers: workers})
+		script, err := pipeline.ParseScript(ex.script, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", ex.name, err)
+		}
+		before := eng.Stats()
+		compile := func() (int, time.Duration, error) {
+			stages := 0
+			start := time.Now()
+			for _, p := range script.Pipelines {
+				plan, err := pipeline.CompileContext(ctx, p, eng)
+				if err != nil {
+					return 0, 0, fmt.Errorf("bench: %s: %w", ex.name, err)
+				}
+				stages += len(plan.Stages)
+			}
+			return stages, time.Since(start), nil
+		}
+		stages, cold, err := compile()
+		if err != nil {
+			return nil, err
+		}
+		_, warm, err := compile()
+		if err != nil {
+			return nil, err
+		}
+		delta := eng.Stats().Sub(before)
+		cmp.Examples = append(cmp.Examples, SynthExampleResult{
+			Name:        ex.name,
+			Stages:      stages,
+			ColdMS:      ms(cold),
+			WarmMS:      ms(warm),
+			WarmSpeedup: Speedup(cold, warm),
+			Hits:        delta.Hits + delta.DiskHits,
+			Misses:      delta.Misses,
+		})
+	}
+	return cmp, nil
+}
+
+// ms converts a duration to milliseconds with microsecond precision.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

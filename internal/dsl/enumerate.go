@@ -77,6 +77,34 @@ func Enumerate(maxProductions int, delims []Delim) []Candidate {
 	return out
 }
 
+// Shards partitions cands into at most n contiguous non-overlapping
+// sub-slices of near-equal length, preserving order: concatenating the
+// shards reproduces cands exactly. The synthesis engine filters each shard
+// on a separate worker and merges survivors in shard order, which keeps
+// parallel filtering byte-identical to the sequential pass. The shards
+// alias the input slice; no candidates are copied.
+func Shards(cands []Candidate, n int) [][]Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([][]Candidate, 0, n)
+	size := (len(cands) + n - 1) / n
+	for start := 0; start < len(cands); start += size {
+		end := start + size
+		if end > len(cands) {
+			end = len(cands)
+		}
+		out = append(out, cands[start:end])
+	}
+	return out
+}
+
 // SpaceSize describes a search space's per-class candidate counts, the
 // triple Table 10 reports as "total (= rec + struct + run)".
 type SpaceSize struct {

@@ -21,6 +21,7 @@ const (
 	RunOpClass
 )
 
+// String names the class as in the paper ("RecOp", "StructOp", "RunOp").
 func (c Class) String() string {
 	switch c {
 	case RecOpClass:
@@ -40,6 +41,8 @@ type Delim byte
 // Delims lists every delimiter the DSL admits.
 var Delims = []Delim{'\n', '\t', ' ', ','}
 
+// String renders the delimiter as a quoted character literal ('\n', '\t',
+// ' ' or ','), the form the DSL parser accepts back.
 func (d Delim) String() string {
 	switch d {
 	case '\n':
@@ -129,6 +132,8 @@ func (c Candidate) Plausible(env *Env, y1, y2, y12 string) bool {
 	return err == nil && v == y12
 }
 
+// String renders the candidate with its argument order, Table 10's
+// notation: "(back '\n' add b a)".
 func (c Candidate) String() string {
 	args := "a b"
 	if c.Swap {

@@ -11,11 +11,19 @@ import (
 // Arbitrary-precision so that long generated digit strings cannot overflow.
 type Add struct{}
 
-func (Add) Class() Class                   { return RecOpClass }
-func (Add) Size() int                      { return 3 }
-func (Add) String() string                 { return "add" }
+// Class returns RecOpClass.
+func (Add) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (Add) Size() int { return 3 }
+
+// String renders the operator in the DSL's textual form.
+func (Add) String() string { return "add" }
+
+// InDomain reports y ∈ L(add) per Definition B.1.
 func (Add) InDomain(_ *Env, y string) bool { return textio.AllDigits(y) }
 
+// Eval applies add per Figure 6's big-step semantics.
 func (a Add) Eval(_ *Env, y1, y2 string) (string, error) {
 	if !textio.AllDigits(y1) || !textio.AllDigits(y2) {
 		return "", evalErr(a, "operand not a digit string")
@@ -28,31 +36,55 @@ func (a Add) Eval(_ *Env, y1, y2 string) (string, error) {
 // Concat is string concatenation: concat y1 y2 ⇒ y1 ++ y2. L = String.
 type Concat struct{}
 
-func (Concat) Class() Class                   { return RecOpClass }
-func (Concat) Size() int                      { return 3 }
-func (Concat) String() string                 { return "concat" }
+// Class returns RecOpClass.
+func (Concat) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (Concat) Size() int { return 3 }
+
+// String renders the operator in the DSL's textual form.
+func (Concat) String() string { return "concat" }
+
+// InDomain reports y ∈ L(concat) per Definition B.1.
 func (Concat) InDomain(_ *Env, _ string) bool { return true }
 
+// Eval applies concat per Figure 6's big-step semantics.
 func (Concat) Eval(_ *Env, y1, y2 string) (string, error) { return y1 + y2, nil }
 
 // First selects the left operand: first y1 y2 ⇒ y1. L = String.
 type First struct{}
 
-func (First) Class() Class                   { return RecOpClass }
-func (First) Size() int                      { return 3 }
-func (First) String() string                 { return "first" }
+// Class returns RecOpClass.
+func (First) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (First) Size() int { return 3 }
+
+// String renders the operator in the DSL's textual form.
+func (First) String() string { return "first" }
+
+// InDomain reports y ∈ L(first) per Definition B.1.
 func (First) InDomain(_ *Env, _ string) bool { return true }
 
+// Eval applies first per Figure 6's big-step semantics.
 func (First) Eval(_ *Env, y1, _ string) (string, error) { return y1, nil }
 
 // Second selects the right operand: second y1 y2 ⇒ y2. L = String.
 type Second struct{}
 
-func (Second) Class() Class                   { return RecOpClass }
-func (Second) Size() int                      { return 3 }
-func (Second) String() string                 { return "second" }
+// Class returns RecOpClass.
+func (Second) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (Second) Size() int { return 3 }
+
+// String renders the operator in the DSL's textual form.
+func (Second) String() string { return "second" }
+
+// InDomain reports y ∈ L(second) per Definition B.1.
 func (Second) InDomain(_ *Env, _ string) bool { return true }
 
+// Eval applies second per Figure 6's big-step semantics.
 func (Second) Eval(_ *Env, _, y2 string) (string, error) { return y2, nil }
 
 // Front strips delimiter D from the front of both operands, applies B, and
@@ -62,14 +94,21 @@ type Front struct {
 	B Op
 }
 
-func (f Front) Class() Class   { return RecOpClass }
-func (f Front) Size() int      { return 1 + f.B.Size() }
+// Class returns RecOpClass.
+func (f Front) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (f Front) Size() int { return 1 + f.B.Size() }
+
+// String renders the operator in the DSL's textual form.
 func (f Front) String() string { return "front " + f.D.String() + " " + f.B.String() }
 
+// InDomain reports y ∈ L(front) per Definition B.1.
 func (f Front) InDomain(env *Env, y string) bool {
 	return len(y) > 0 && y[0] == byte(f.D) && f.B.InDomain(env, y[1:])
 }
 
+// Eval applies front per Figure 6's big-step semantics.
 func (f Front) Eval(env *Env, y1, y2 string) (string, error) {
 	if len(y1) == 0 || y1[0] != byte(f.D) || len(y2) == 0 || y2[0] != byte(f.D) {
 		return "", evalErr(f, "operand lacks front delimiter")
@@ -89,14 +128,21 @@ type Back struct {
 	B Op
 }
 
-func (b Back) Class() Class   { return RecOpClass }
-func (b Back) Size() int      { return 1 + b.B.Size() }
+// Class returns RecOpClass.
+func (b Back) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (b Back) Size() int { return 1 + b.B.Size() }
+
+// String renders the operator in the DSL's textual form.
 func (b Back) String() string { return "back " + b.D.String() + " " + b.B.String() }
 
+// InDomain reports y ∈ L(back) per Definition B.1.
 func (b Back) InDomain(env *Env, y string) bool {
 	return len(y) > 0 && y[len(y)-1] == byte(b.D) && b.B.InDomain(env, y[:len(y)-1])
 }
 
+// Eval applies back per Figure 6's big-step semantics.
 func (b Back) Eval(env *Env, y1, y2 string) (string, error) {
 	n1, n2 := len(y1), len(y2)
 	if n1 == 0 || y1[n1-1] != byte(b.D) || n2 == 0 || y2[n2-1] != byte(b.D) {
@@ -122,10 +168,16 @@ type Fuse struct {
 	B Op
 }
 
-func (f Fuse) Class() Class   { return RecOpClass }
-func (f Fuse) Size() int      { return 1 + f.B.Size() }
+// Class returns RecOpClass.
+func (f Fuse) Class() Class { return RecOpClass }
+
+// Size is |g| per Definition 3.6.
+func (f Fuse) Size() int { return 1 + f.B.Size() }
+
+// String renders the operator in the DSL's textual form.
 func (f Fuse) String() string { return "fuse " + f.D.String() + " " + f.B.String() }
 
+// InDomain reports y ∈ L(fuse) per Definition B.1.
 func (f Fuse) InDomain(env *Env, y string) bool {
 	parts := strings.Split(y, string(f.D))
 	if len(parts) < 2 {
@@ -139,6 +191,7 @@ func (f Fuse) InDomain(env *Env, y string) bool {
 	return true
 }
 
+// Eval applies fuse per Figure 6's big-step semantics.
 func (f Fuse) Eval(env *Env, y1, y2 string) (string, error) {
 	p1 := strings.Split(y1, string(f.D))
 	p2 := strings.Split(y2, string(f.D))

@@ -7,11 +7,19 @@ package dsl
 // worth parallelizing (§2).
 type Rerun struct{}
 
-func (Rerun) Class() Class                   { return RunOpClass }
-func (Rerun) Size() int                      { return 3 }
-func (Rerun) String() string                 { return "rerun" }
+// Class returns RunOpClass.
+func (Rerun) Class() Class { return RunOpClass }
+
+// Size is |g| per Definition 3.6.
+func (Rerun) Size() int { return 3 }
+
+// String renders the operator in the DSL's textual form.
+func (Rerun) String() string { return "rerun" }
+
+// InDomain reports y ∈ L(rerun) per Definition B.1.
 func (Rerun) InDomain(_ *Env, _ string) bool { return true }
 
+// Eval applies rerun per Figure 6's big-step semantics.
 func (r Rerun) Eval(env *Env, y1, y2 string) (string, error) {
 	if env == nil || env.RunF == nil {
 		return "", evalErr(r, "no command bound in Env")
@@ -25,9 +33,13 @@ func (r Rerun) Eval(env *Env, y1, y2 string) (string, error) {
 // sorted.
 type Merge struct{}
 
+// Class returns RunOpClass.
 func (Merge) Class() Class { return RunOpClass }
-func (Merge) Size() int    { return 3 }
 
+// Size is |g| per Definition 3.6.
+func (Merge) Size() int { return 3 }
+
+// String renders the operator in the DSL's textual form.
 func (Merge) String() string { return "merge" }
 
 // DisplayString renders the merge with its flags, e.g. "merge('-rn')",
@@ -39,6 +51,7 @@ func (m Merge) DisplayString(env *Env) string {
 	return "merge"
 }
 
+// InDomain reports y ∈ L(merge) per Definition B.1.
 func (m Merge) InDomain(env *Env, y string) bool {
 	if env == nil || env.Merge == nil {
 		return false
@@ -46,6 +59,7 @@ func (m Merge) InDomain(env *Env, y string) bool {
 	return env.Merge.IsSorted(y)
 }
 
+// Eval applies merge per Figure 6's big-step semantics.
 func (m Merge) Eval(env *Env, y1, y2 string) (string, error) {
 	if env == nil || env.Merge == nil {
 		return "", evalErr(m, "no merge comparator bound in Env")

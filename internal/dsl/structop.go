@@ -21,10 +21,16 @@ type Stitch struct {
 	B Op
 }
 
-func (s Stitch) Class() Class   { return StructOpClass }
-func (s Stitch) Size() int      { return 1 + s.B.Size() }
+// Class returns StructOpClass.
+func (s Stitch) Class() Class { return StructOpClass }
+
+// Size is |g| per Definition 3.6.
+func (s Stitch) Size() int { return 1 + s.B.Size() }
+
+// String renders the operator in the DSL's textual form.
 func (s Stitch) String() string { return "stitch " + s.B.String() }
 
+// InDomain reports y ∈ L(stitch) per Definition B.1.
 func (s Stitch) InDomain(env *Env, y string) bool {
 	if !textio.IsStream(y) {
 		return false
@@ -67,15 +73,19 @@ type Stitch2 struct {
 	B1, B2 Op
 }
 
+// Class returns StructOpClass.
 func (s Stitch2) Class() Class { return StructOpClass }
 
 // Size per Definition 3.6: 2 + productions; stitch2 contributes one
 // production on top of its two children's (|stitch2 d add first| = 5).
 func (s Stitch2) Size() int { return s.B1.Size() + s.B2.Size() - 1 }
+
+// String renders the operator in the DSL's textual form.
 func (s Stitch2) String() string {
 	return "stitch2 " + s.D.String() + " " + s.B1.String() + " " + s.B2.String()
 }
 
+// InDomain reports y ∈ L(stitch2) per Definition B.1.
 func (s Stitch2) InDomain(env *Env, y string) bool {
 	if !textio.IsStream(y) {
 		return false
@@ -92,6 +102,7 @@ func (s Stitch2) InDomain(env *Env, y string) bool {
 	return true
 }
 
+// Eval applies stitch2 per Figure 6's big-step semantics.
 func (s Stitch2) Eval(env *Env, y1, y2 string) (string, error) {
 	rest1, l1, ok1 := textio.SplitLastLine(y1)
 	l2, rest2, ok2 := textio.SplitFirstLine(y2)
@@ -128,10 +139,16 @@ type Offset struct {
 	B Op
 }
 
-func (o Offset) Class() Class   { return StructOpClass }
-func (o Offset) Size() int      { return 1 + o.B.Size() }
+// Class returns StructOpClass.
+func (o Offset) Class() Class { return StructOpClass }
+
+// Size is |g| per Definition 3.6.
+func (o Offset) Size() int { return 1 + o.B.Size() }
+
+// String renders the operator in the DSL's textual form.
 func (o Offset) String() string { return "offset " + o.D.String() + " " + o.B.String() }
 
+// InDomain reports y ∈ L(offset) per Definition B.1.
 func (o Offset) InDomain(env *Env, y string) bool {
 	if !textio.IsStream(y) {
 		return false
@@ -150,6 +167,7 @@ func (o Offset) InDomain(env *Env, y string) bool {
 	return any
 }
 
+// Eval applies offset per Figure 6's big-step semantics.
 func (o Offset) Eval(env *Env, y1, y2 string) (string, error) {
 	l1, ok := textio.SplitLastNonemptyLine(y1)
 	if !ok {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"kumquat/internal/synth"
@@ -37,16 +38,28 @@ type Plan struct {
 
 // Compile synthesizes a combiner for every stage and applies the paper's
 // two planning decisions: sequential execution of non-reducing rerun
-// stages, and intermediate combiner elimination (§3.5).
-func Compile(p *Pipeline, syn *synth.Synthesizer) (*Plan, error) {
+// stages, and intermediate combiner elimination (§3.5). Repeated stages —
+// within one pipeline or across pipelines compiled through the same
+// engine — resolve from the engine's combiner cache instead of re-running
+// synthesis.
+func Compile(p *Pipeline, eng *synth.Engine) (*Plan, error) {
+	return CompileContext(context.Background(), p, eng)
+}
+
+// CompileContext is Compile with cancellation: a cancelled ctx aborts the
+// in-flight stage synthesis mid-round and returns ctx.Err().
+func CompileContext(ctx context.Context, p *Pipeline, eng *synth.Engine) (*Plan, error) {
 	plan := &Plan{InputFile: p.InputFile}
 	for _, spec := range p.Stages {
-		cmd, err := unix.Parse(spec, syn.Env)
+		cmd, err := unix.Parse(spec, eng.Env)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stage %q: %w", spec, err)
 		}
 		sp := &StagePlan{Spec: spec, Cmd: cmd}
-		res, _ := syn.SynthesizeSpec(spec)
+		res, _ := eng.Synthesize(ctx, spec)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp.Synth = res
 		if res != nil && res.Err == nil {
 			sp.Parallel = true

@@ -1,0 +1,623 @@
+package synth
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kumquat/internal/dsl"
+	"kumquat/internal/shape"
+	"kumquat/internal/synth/cache"
+	"kumquat/internal/unix"
+)
+
+// Engine is the concurrent, cancellable, cached combiner synthesizer — the
+// primary synthesis entry point. Algorithm 1's per-round candidate
+// filtering fans out over a bounded worker pool (the enumeration is
+// sharded with dsl.Shards, each shard filtered against the observation
+// set, and survivors merged in shard order, so results are byte-identical
+// to a sequential run at any worker count), and Algorithm 2's gradient
+// mutations are scored concurrently. Results are memoized per spec text
+// and cached under a canonical command signature (normalized argv +
+// delimiter set + options) in an in-memory LRU and, optionally, an
+// on-disk store, so repeated stages and repeated invocations resolve
+// without re-running synthesis.
+//
+// An Engine is safe for concurrent use.
+type Engine struct {
+	// Opts are the synthesis options, with defaults applied.
+	Opts Options
+	// Env is the command environment specs are parsed against.
+	Env *unix.Env
+
+	workers  int
+	counters cache.Counters
+
+	mu   sync.Mutex
+	memo map[string]*Result // exact spec text → result (legacy cache tier)
+	lru  *cache.LRU         // canonical signature → *Result
+	disk *cache.Store       // nil unless Opts.CacheDir is set
+}
+
+// Synthesizer is the legacy name for Engine, kept so existing call sites
+// and the string-keyed SynthesizeSpec workflow continue to compile.
+type Synthesizer = Engine
+
+// New returns an Engine over the given command environment (the default
+// environment when env is nil).
+func New(env *unix.Env, opts Options) *Engine {
+	if env == nil {
+		env = unix.DefaultEnv()
+	}
+	opts = opts.withDefaults()
+	e := &Engine{
+		Opts: opts,
+		Env:  env,
+		memo: map[string]*Result{},
+	}
+	e.workers = opts.Workers
+	if e.workers == 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if opts.CacheSize >= 0 {
+		e.lru = cache.NewLRU(opts.CacheSize)
+	}
+	if opts.CacheDir != "" {
+		// Store errors degrade to a memory-only engine: the disk tier is
+		// an accelerator, never required for correctness.
+		if st, err := cache.NewStore(opts.CacheDir); err == nil {
+			e.disk = st
+		}
+	}
+	return e
+}
+
+// Synthesize parses spec and synthesizes its combiner with a fresh Engine
+// over the default environment — the package-level convenience form of
+// Engine.Synthesize for one-shot callers.
+func Synthesize(ctx context.Context, spec string, opts Options) (*Result, error) {
+	return New(nil, opts).Synthesize(ctx, spec)
+}
+
+// Synthesize parses a command spec and synthesizes its combiner,
+// consulting the spec memo, the canonical-signature LRU and the on-disk
+// store before running Algorithms 1–2. Cancelling ctx aborts synthesis
+// mid-round; the returned Result then carries the best-so-far survivor
+// set with Err set to ctx.Err(), and is not cached.
+func (e *Engine) Synthesize(ctx context.Context, spec string) (*Result, error) {
+	e.mu.Lock()
+	r, ok := e.memo[spec]
+	e.mu.Unlock()
+	if ok {
+		e.counters.Hit()
+		return r, r.Err
+	}
+	cmd, err := unix.Parse(spec, e.Env)
+	if err != nil {
+		return nil, err
+	}
+	r = e.SynthesizeCommand(ctx, cmd)
+	if ctx.Err() == nil {
+		e.mu.Lock()
+		e.memo[spec] = r
+		e.mu.Unlock()
+	}
+	return r, r.Err
+}
+
+// SynthesizeSpec is the legacy context-free form of Synthesize.
+func (e *Engine) SynthesizeSpec(spec string) (*Result, error) {
+	return e.Synthesize(context.Background(), spec)
+}
+
+// Stats returns a snapshot of the engine's cache activity: memory hits
+// (spec memo and LRU), disk hits, and misses (full synthesis runs).
+func (e *Engine) Stats() cache.Stats { return e.counters.Snapshot() }
+
+// Workers reports the resolved worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// SynthesizeCommand runs cache lookup and, on a miss, Algorithm 1 for one
+// already-parsed black-box command. Most callers want Synthesize, which
+// adds the spec-text memo tier.
+func (e *Engine) SynthesizeCommand(ctx context.Context, cmd unix.Command) *Result {
+	start := time.Now()
+	res := &Result{Spec: cmd.Spec()}
+	if ns, ok := cmd.(interface{ NonStream() bool }); ok && ns.NonStream() {
+		res.Err = ErrNonStream
+		res.Duration = time.Since(start)
+		e.counters.Miss() // memoized repeats count as hits; keep stats consistent
+		return res
+	}
+	if mi, ok := cmd.(interface{ MultiInput() bool }); ok && mi.MultiInput() {
+		res.Err = ErrMultiInput
+		res.Duration = time.Since(start)
+		e.counters.Miss()
+		return res
+	}
+
+	// Deterministic per-command seed.
+	rng := rand.New(rand.NewSource(e.Opts.Seed ^ int64(hashSpec(cmd.Spec()))))
+
+	// Preprocessing (§3.2): probes, literal mining, delimiter selection.
+	// This is cheap, fixed work (a dozen command runs on tiny probe
+	// streams) and yields the delimiter set the cache key needs.
+	p := preprocess(cmd, e.Env, rng)
+
+	argv := canonicalArgv(cmd.Spec())
+	key := cache.Key(argv, delimBytes(p.delims), e.keyOptions())
+	if e.lru != nil {
+		if v, ok := e.lru.Get(key); ok {
+			e.counters.Hit()
+			return v.(*Result)
+		}
+	}
+	// Commands whose behaviour depends on the simulated file system —
+	// file-name input mode (xargs-style probes read the FS) or commands
+	// that read registered files during Run (cat FILE, comm - FILE) —
+	// stay out of the disk tier: their results are not portable across
+	// processes with different registered files.
+	re, readsEnv := cmd.(interface{ ReadsEnv() bool })
+	diskable := e.disk != nil && len(p.fileNames) == 0 &&
+		!(readsEnv && re.ReadsEnv())
+	if diskable {
+		if ent, ok := e.disk.Get(key); ok {
+			if r, ok := e.resultFromEntry(ent, cmd); ok {
+				e.counters.DiskHit()
+				if e.lru != nil {
+					e.lru.Put(key, r)
+				}
+				return r
+			}
+		}
+	}
+
+	e.counters.Miss()
+	res = e.synthesize(ctx, cmd, rng, p, start)
+	if ctx.Err() == nil {
+		if e.lru != nil {
+			e.lru.Put(key, res)
+		}
+		if diskable && cacheableErr(res.Err) {
+			e.disk.Put(key, e.entryFromResult(res, argv)) //nolint:errcheck // accelerator only
+		}
+	}
+	return res
+}
+
+// synthesize is Algorithm 1's round loop: generate effective inputs
+// (Algorithm 2), observe the command, and filter the candidate space in
+// parallel shards, until the space empties, progress stagnates, or ctx is
+// cancelled.
+func (e *Engine) synthesize(ctx context.Context, cmd unix.Command, rng *rand.Rand, p prep, start time.Time) *Result {
+	opts := e.Opts
+	res := &Result{Spec: cmd.Spec(), Delims: p.delims}
+
+	denv := e.evalEnv(cmd)
+
+	// C0 ← AllCandidates(n).
+	cands := dsl.Enumerate(opts.MaxProductions, p.delims)
+	res.Space = dsl.Measure(cands)
+
+	gen := p.generator(rng)
+	seeds := p.seedShapes()
+
+	var (
+		inBytes, outBytes int
+		sawOutput         bool
+		stagnant          int
+	)
+	finish := func(err error) *Result {
+		res.Duration = time.Since(start)
+		if err != nil {
+			res.Err = err
+		} else if !sawOutput {
+			res.Err = ErrNoOutputs
+			return res
+		}
+		if inBytes > 0 {
+			res.ReductionRatio = float64(outBytes) / float64(inBytes)
+		}
+		res.Plausible = cands
+		if sawOutput {
+			res.Combiner = buildComposite(cmd.Spec(), denv, cands)
+		}
+		return res
+	}
+	for round := 1; round <= opts.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		res.Rounds = round
+		s0 := seeds[(round-1)%len(seeds)]
+		if round > len(seeds) {
+			// RandomShape(): perturb a seed with a few random mutations.
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				s0 = shape.Mutate(s0, rng.Intn(shape.NumMutations))
+			}
+		}
+		inputs, slots := e.effectiveInputs(ctx, cmd, denv, cands, gen, s0, rng)
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		obs := make([]Observation, 0, len(slots))
+		for i, s := range slots {
+			if !s.ok {
+				continue
+			}
+			obs = append(obs, s.o)
+			if s.o.Y12 != "" && s.o.Y12 != "\n" {
+				sawOutput = true
+			}
+			inBytes += len(inputs[i][0]) + len(inputs[i][1])
+			outBytes += len(s.o.Y12)
+		}
+		res.Observations += len(obs)
+		before := len(cands)
+		next, err := e.filterParallel(ctx, denv, cands, obs)
+		if err != nil {
+			// Cancelled mid-filter: the previous round's survivors are the
+			// best verified verdict.
+			return finish(err)
+		}
+		cands = next
+		if len(cands) == 0 {
+			res.Err = ErrNoCombiner
+			res.Duration = time.Since(start)
+			return res
+		}
+		if len(cands) == before {
+			stagnant++
+			if stagnant >= opts.StagnationRounds {
+				break
+			}
+		} else {
+			stagnant = 0
+		}
+	}
+	return finish(nil)
+}
+
+// obsSlot pairs one generated input with its observation; ok is false
+// when the command errored on the pair (it fell outside the command's
+// domain) or the pair was never run (cancellation).
+type obsSlot struct {
+	o  Observation
+	ok bool
+}
+
+// effectiveInputs is Algorithm 2 (GetEffectiveInputs): M gradient steps,
+// each trying all twelve mutations of the current shape, generating input
+// pairs from every mutation, and stepping to the mutation whose inputs
+// eliminated the most sampled candidates. It returns every generated
+// pair with its observation slot (aligned by index), so the round filter
+// reuses the scoring observations instead of re-running the command.
+//
+// Input generation stays on the calling goroutine (it consumes the
+// deterministic rng); only the pure observe-and-score work per mutation
+// runs on the worker pool, so the chosen mutations — and therefore the
+// generated inputs and observations — are identical at any worker count.
+func (e *Engine) effectiveInputs(ctx context.Context, cmd unix.Command, denv *dsl.Env,
+	cands []dsl.Candidate, gen *shape.Generator, s0 shape.Shape, rng *rand.Rand) ([][2]string, []obsSlot) {
+
+	opts := e.Opts
+	// Seed-shape inputs first: they do the bulk of the cheap elimination.
+	all := gen.Pairs(s0, opts.PairsPerShape)
+	slots := e.observeSlots(ctx, cmd, all)
+
+	cur := s0
+	// Score mutations against a bounded sample of live candidates so the
+	// gradient stays cheap even on the 110k-candidate spaces.
+	sample := sampleCandidates(cands, 4096, rng)
+	for m := 0; m < opts.MutationIters; m++ {
+		if ctx.Err() != nil {
+			return all, slots
+		}
+		pairsByMut := make([][][2]string, shape.NumMutations)
+		for j := 0; j < shape.NumMutations; j++ {
+			pairsByMut[j] = gen.Pairs(shape.Mutate(cur, j), opts.PairsPerShape)
+		}
+		if opts.DisableGradient {
+			// No scoring: observe the mutations' pairs in one parallel
+			// pass and take a random step (the ablation baseline).
+			for j := range pairsByMut {
+				all = append(all, pairsByMut[j]...)
+			}
+			slots = append(slots, e.observeSlots(ctx, cmd, all[len(slots):])...)
+			cur = shape.Mutate(cur, rng.Intn(shape.NumMutations))
+			continue
+		}
+		mutSlots := make([][]obsSlot, shape.NumMutations)
+		scores := make([]int, shape.NumMutations)
+		parallelFor(ctx, e.workers, shape.NumMutations, func(j int) {
+			sl := make([]obsSlot, len(pairsByMut[j]))
+			for i, p := range pairsByMut[j] {
+				o, ok := runPair(cmd, p)
+				sl[i] = obsSlot{o, ok}
+			}
+			mutSlots[j] = sl
+			scores[j] = countEliminated(denv, sample, compactObs(sl))
+		})
+		for j := range pairsByMut {
+			if mutSlots[j] == nil {
+				// Cancelled before this mutation ran; keep inputs and
+				// slots aligned by dropping its pairs.
+				continue
+			}
+			all = append(all, pairsByMut[j]...)
+			slots = append(slots, mutSlots[j]...)
+		}
+		if ctx.Err() != nil {
+			return all, slots
+		}
+		best, bestScore := -1, -1
+		for j, sc := range scores {
+			if sc > bestScore {
+				best, bestScore = j, sc
+			}
+		}
+		cur = shape.Mutate(cur, best)
+	}
+	return all, slots
+}
+
+// runPair executes the command on one input pair, producing Definition
+// 3.5's ⟨y1, y2, y12⟩ triple; ok is false when the command errored on any
+// of the three runs (the pair fell outside the command's domain).
+func runPair(cmd unix.Command, p [2]string) (Observation, bool) {
+	y1, err1 := cmd.Run(p[0])
+	y2, err2 := cmd.Run(p[1])
+	y12, err12 := cmd.Run(p[0] + p[1])
+	if err1 != nil || err2 != nil || err12 != nil {
+		return Observation{}, false
+	}
+	return Observation{Y1: y1, Y2: y2, Y12: y12}, true
+}
+
+// observeSlots executes the command on each input pair concurrently,
+// producing Definition 3.5's observations in slots aligned with the
+// pairs (pairs on which the command errors get ok=false: the command's
+// legal-input constraints are respected by construction for
+// sorted/file-name modes; errors elsewhere mean the generated input was
+// outside the command's domain). A cancelled ctx leaves the unrun
+// pairs' slots ok=false; callers check ctx before trusting the set.
+func (e *Engine) observeSlots(ctx context.Context, cmd unix.Command, pairs [][2]string) []obsSlot {
+	slots := make([]obsSlot, len(pairs))
+	parallelFor(ctx, e.workers, len(pairs), func(i int) {
+		o, ok := runPair(cmd, pairs[i])
+		slots[i] = obsSlot{o, ok}
+	})
+	return slots
+}
+
+// compactObs extracts the successful observations from a slot list, in
+// order.
+func compactObs(slots []obsSlot) []Observation {
+	obs := make([]Observation, 0, len(slots))
+	for _, s := range slots {
+		if s.ok {
+			obs = append(obs, s.o)
+		}
+	}
+	return obs
+}
+
+// filterParallel is FilterCandidates over a sharded candidate space: each
+// shard is filtered against the observations on the worker pool and the
+// survivors are concatenated in shard order, reproducing the sequential
+// filter exactly. Returns ctx.Err() if cancelled before the merge
+// completes, in which case the partial survivors are discarded.
+func (e *Engine) filterParallel(ctx context.Context, denv *dsl.Env,
+	cands []dsl.Candidate, obs []Observation) ([]dsl.Candidate, error) {
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(obs) == 0 {
+		return cands, nil
+	}
+	// Small spaces are cheaper to filter inline than to fan out; the
+	// sequential path still honours cancellation by checking ctx every
+	// 2048-candidate chunk.
+	if e.workers <= 1 || len(cands) < 2048 {
+		live := make([]dsl.Candidate, 0, len(cands))
+		for _, shard := range dsl.Shards(cands, (len(cands)+2047)/2048) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			live = append(live, filterCandidates(denv, shard, obs)...)
+		}
+		return live, nil
+	}
+	// Over-shard (4 chunks per worker) so the atomic work queue balances
+	// shards of uneven candidate cost, and a cancelled ctx is noticed at
+	// shard granularity.
+	shards := dsl.Shards(cands, e.workers*4)
+	out := make([][]dsl.Candidate, len(shards))
+	parallelFor(ctx, e.workers, len(shards), func(i int) {
+		out[i] = filterCandidates(denv, shards[i], obs)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range out {
+		total += len(s)
+	}
+	live := make([]dsl.Candidate, 0, total)
+	for _, s := range out {
+		live = append(live, s...)
+	}
+	return live, nil
+}
+
+// parallelFor runs fn(i) for every i in [0,n) on up to workers
+// goroutines, pulling indices from a shared atomic queue. fn must write
+// only to state owned by index i; completion of all started fn calls is
+// awaited before returning. Once ctx is cancelled no new indices are
+// handed out, so some fn(i) may never run — callers detect this via
+// ctx.Err().
+func parallelFor(ctx context.Context, workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalEnv builds the DSL evaluation environment for one command: f for
+// rerun, and the merge comparator (the command itself when it is a sort,
+// plain sort otherwise).
+func (e *Engine) evalEnv(cmd unix.Command) *dsl.Env {
+	denv := &dsl.Env{RunF: cmd.Run}
+	if sc, ok := cmd.(*unix.SortCmd); ok {
+		denv.Merge = sc
+	} else if def, err := unix.Parse("sort", e.Env); err == nil {
+		denv.Merge = def.(*unix.SortCmd)
+	}
+	return denv
+}
+
+// keyOptions projects the engine options onto the cache-key fields.
+func (e *Engine) keyOptions() cache.KeyOptions {
+	o := e.Opts
+	return cache.KeyOptions{
+		MaxProductions:   o.MaxProductions,
+		PairsPerShape:    o.PairsPerShape,
+		MutationIters:    o.MutationIters,
+		StagnationRounds: o.StagnationRounds,
+		MaxRounds:        o.MaxRounds,
+		Seed:             o.Seed,
+		DisableGradient:  o.DisableGradient,
+	}
+}
+
+// canonicalArgv normalizes a command spec to its shell tokenization, so
+// quoting and whitespace variants of the same command share a cache key.
+func canonicalArgv(spec string) []string {
+	if argv, err := unix.Tokenize(spec); err == nil && len(argv) > 0 {
+		return argv
+	}
+	return []string{spec}
+}
+
+// delimBytes converts a delimiter set to raw bytes for key derivation.
+func delimBytes(delims []dsl.Delim) []byte {
+	out := make([]byte, len(delims))
+	for i, d := range delims {
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// Error tags used in persisted entries.
+const (
+	errTagNoCombiner = "no-combiner"
+	errTagNoOutputs  = "no-outputs"
+)
+
+// cacheableErr reports whether a result's error state may be persisted:
+// successful syntheses and the two definitive negative verdicts are;
+// transient states (cancellation) are not.
+func cacheableErr(err error) bool {
+	return err == nil || err == ErrNoCombiner || err == ErrNoOutputs
+}
+
+// entryFromResult converts a synthesis result to its persisted form.
+func (e *Engine) entryFromResult(r *Result, argv []string) *cache.Entry {
+	ent := &cache.Entry{
+		Spec:           r.Spec,
+		Argv:           argv,
+		Delims:         string(delimBytes(r.Delims)),
+		SpaceRec:       r.Space.Rec,
+		SpaceStruct:    r.Space.Struct,
+		SpaceRun:       r.Space.Run,
+		Rounds:         r.Rounds,
+		Observations:   r.Observations,
+		ReductionRatio: r.ReductionRatio,
+		DurationNS:     int64(r.Duration),
+	}
+	switch r.Err {
+	case ErrNoCombiner:
+		ent.Err = errTagNoCombiner
+	case ErrNoOutputs:
+		ent.Err = errTagNoOutputs
+	}
+	for _, c := range r.Plausible {
+		ent.Plausible = append(ent.Plausible, c.String())
+	}
+	return ent
+}
+
+// resultFromEntry rebuilds a live result from a persisted entry: the
+// plausible set is re-parsed from DSL text and the composite combiner
+// rebuilt against the command's evaluation environment. Any decode
+// failure reports false and the entry is treated as a miss.
+func (e *Engine) resultFromEntry(ent *cache.Entry, cmd unix.Command) (*Result, bool) {
+	res := &Result{
+		Spec:           ent.Spec,
+		Space:          dsl.SpaceSize{Rec: ent.SpaceRec, Struct: ent.SpaceStruct, Run: ent.SpaceRun},
+		Rounds:         ent.Rounds,
+		Observations:   ent.Observations,
+		ReductionRatio: ent.ReductionRatio,
+		Duration:       time.Duration(ent.DurationNS),
+	}
+	for _, b := range []byte(ent.Delims) {
+		res.Delims = append(res.Delims, dsl.Delim(b))
+	}
+	switch ent.Err {
+	case "":
+	case errTagNoCombiner:
+		res.Err = ErrNoCombiner
+		return res, true
+	case errTagNoOutputs:
+		res.Err = ErrNoOutputs
+		return res, true
+	default:
+		return nil, false
+	}
+	for _, s := range ent.Plausible {
+		c, err := dsl.ParseCandidate(s)
+		if err != nil {
+			return nil, false
+		}
+		res.Plausible = append(res.Plausible, c)
+	}
+	res.Combiner = buildComposite(ent.Spec, e.evalEnv(cmd), res.Plausible)
+	if res.Combiner == nil {
+		return nil, false
+	}
+	return res, true
+}

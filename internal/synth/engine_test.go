@@ -1,0 +1,277 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"kumquat/internal/unix"
+)
+
+// resultFingerprint compresses everything observable about a synthesis
+// result into a comparable form.
+func resultFingerprint(t *testing.T, r *Result) string {
+	t.Helper()
+	fp := r.Spec + "|"
+	for _, c := range r.Plausible {
+		fp += c.String() + ";"
+	}
+	fp += "|"
+	if r.Combiner != nil {
+		fp += r.Combiner.String()
+	}
+	return fp
+}
+
+// TestParallelDeterminism pins the engine's core guarantee: the same seed
+// yields byte-identical plausible sets, combiners, round counts and
+// observation counts at 1, 4 and GOMAXPROCS workers.
+func TestParallelDeterminism(t *testing.T) {
+	specs := []string{"wc -l", "uniq -c", "sort -rn", "tail -n 1"}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, spec := range specs {
+		var baseline *Result
+		var baseFP string
+		for _, w := range workerCounts {
+			eng := New(unix.DefaultEnv(), Options{Seed: 7, Workers: w})
+			res, err := eng.Synthesize(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", spec, w, err)
+			}
+			if eng.Workers() != w {
+				t.Fatalf("workers=%d: engine resolved %d", w, eng.Workers())
+			}
+			fp := resultFingerprint(t, res)
+			if baseline == nil {
+				baseline, baseFP = res, fp
+				continue
+			}
+			if fp != baseFP {
+				t.Errorf("%s workers=%d: result diverged:\n  got  %s\n  want %s",
+					spec, w, fp, baseFP)
+			}
+			if res.Rounds != baseline.Rounds || res.Observations != baseline.Observations {
+				t.Errorf("%s workers=%d: rounds/observations %d/%d, want %d/%d",
+					spec, w, res.Rounds, res.Observations,
+					baseline.Rounds, baseline.Observations)
+			}
+			if res.Space != baseline.Space {
+				t.Errorf("%s workers=%d: space %+v, want %+v", spec, w, res.Space, baseline.Space)
+			}
+		}
+	}
+}
+
+// TestCancellationMidRound cancels synthesis of the 110,444-candidate
+// space mid-round and checks that the engine returns promptly with the
+// best-so-far verdict, that the result is not cached, and that no worker
+// goroutines leak (the test also runs under -race in CI).
+func TestCancellationMidRound(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			testCancellationMidRound(t, w)
+		})
+	}
+}
+
+func testCancellationMidRound(t *testing.T, workers int) {
+	before := runtime.NumGoroutine()
+
+	eng := New(unix.DefaultEnv(), Options{Seed: 1, Workers: workers})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Long enough to be mid-round on the 110k space, short enough
+		// that the test stays fast.
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := eng.Synthesize(ctx, `cut -d ',' -f 1,2`)
+	wall := time.Since(start)
+	cancel()
+
+	if !errors.Is(err, context.Canceled) {
+		// The machine may be fast enough to finish inside 5ms; then the
+		// run simply succeeded and there is nothing more to assert.
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		t.Skip("synthesis finished before cancellation")
+	}
+	if res == nil {
+		t.Fatal("cancelled synthesis returned no best-so-far result")
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("res.Err = %v, want context.Canceled", res.Err)
+	}
+	if wall > 3*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", wall)
+	}
+	// A cancelled result must not poison the caches: a rerun must
+	// synthesize from scratch and succeed.
+	res2, err := eng.Synthesize(context.Background(), `cut -d ',' -f 1,2`)
+	if err != nil || res2.Err != nil {
+		t.Fatalf("post-cancel synthesis failed: %v / %v", err, res2)
+	}
+	if st := eng.Stats(); st.Hits != 0 {
+		t.Errorf("post-cancel synthesis hit a cache (%+v); cancelled results must not be cached", st)
+	}
+
+	// All pool goroutines must have exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, n)
+	}
+}
+
+// TestEngineMemoryCache checks both memory tiers: the exact-spec memo and
+// the canonical-signature LRU (which also serves whitespace variants of
+// the same command).
+func TestEngineMemoryCache(t *testing.T) {
+	eng := New(unix.DefaultEnv(), Options{Seed: 1})
+	r1, err := eng.Synthesize(context.Background(), "wc -l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("cold synthesis stats %+v, want 1 miss", st)
+	}
+	// Exact repeat → memo hit, identical pointer.
+	r2, _ := eng.Synthesize(context.Background(), "wc -l")
+	if r1 != r2 {
+		t.Error("repeated spec did not return the memoized result")
+	}
+	// Whitespace variant → same canonical argv → LRU hit, no new miss.
+	r3, err := eng.Synthesize(context.Background(), "wc  -l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Misses != 1 {
+		t.Errorf("whitespace variant re-ran synthesis: %+v", st)
+	}
+	if st.Hits != 2 {
+		t.Errorf("stats %+v, want 2 hits (memo + LRU)", st)
+	}
+	if resultFingerprint(t, r1) != resultFingerprint(t, r3) {
+		t.Error("canonical-cache result differs from original")
+	}
+}
+
+// TestEngineDiskCache checks that a second engine resolves a command from
+// the on-disk store written by the first, with an identical combiner and
+// plausible set.
+func TestEngineDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	a := New(unix.DefaultEnv(), Options{Seed: 1, CacheDir: dir})
+	ra, err := a.Synthesize(context.Background(), "uniq -c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(unix.DefaultEnv(), Options{Seed: 1, CacheDir: dir})
+	rb, err := b.Synthesize(context.Background(), "uniq -c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("second engine stats %+v, want 1 disk hit and 0 misses", st)
+	}
+	if resultFingerprint(t, ra) != resultFingerprint(t, rb) {
+		t.Errorf("disk round-trip changed the result:\n  a: %s\n  b: %s",
+			resultFingerprint(t, ra), resultFingerprint(t, rb))
+	}
+	if rb.Space != ra.Space || rb.Rounds != ra.Rounds {
+		t.Errorf("disk round-trip lost metadata: %+v vs %+v", rb, ra)
+	}
+	// The rebuilt combiner must be live, not just displayable.
+	out, err := rb.Combiner.Combine("      2 apple\n", "      1 apple\n")
+	if err != nil || out != "      3 apple\n" {
+		t.Errorf("rebuilt combiner Combine = %q, %v", out, err)
+	}
+	// A different seed must not hit the same entries.
+	c := New(unix.DefaultEnv(), Options{Seed: 2, CacheDir: dir})
+	if _, err := c.Synthesize(context.Background(), "uniq -c"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskHits != 0 || st.Misses != 1 {
+		t.Errorf("seed-2 engine stats %+v, want a miss", st)
+	}
+}
+
+// TestEngineCachesNegativeResults checks that definitive failures
+// (ErrNoCombiner) are cached like successes: re-deriving "no combiner
+// exists" costs a full search-space elimination, so it is worth storing.
+func TestEngineCachesNegativeResults(t *testing.T) {
+	dir := t.TempDir()
+	a := New(unix.DefaultEnv(), Options{Seed: 1, CacheDir: dir})
+	ra, err := a.Synthesize(context.Background(), "sed 1d")
+	if !errors.Is(err, ErrNoCombiner) {
+		t.Fatalf("sed 1d: err = %v, want ErrNoCombiner (Table 9)", err)
+	}
+	b := New(unix.DefaultEnv(), Options{Seed: 1, CacheDir: dir})
+	rb, err := b.Synthesize(context.Background(), "sed 1d")
+	if !errors.Is(err, ErrNoCombiner) {
+		t.Fatalf("cached sed 1d: err = %v, want ErrNoCombiner", err)
+	}
+	if st := b.Stats(); st.DiskHits != 1 {
+		t.Errorf("negative result not served from disk: %+v", st)
+	}
+	if rb.Space != ra.Space {
+		t.Errorf("cached negative result lost the space: %+v vs %+v", rb.Space, ra.Space)
+	}
+}
+
+// TestDiskCacheExcludesEnvReaders checks that commands whose output
+// depends on the simulated file system (comm reads its dictionary
+// operand during Run) never reach the disk tier: a cached combiner would
+// be stale in a process with different registered files.
+func TestDiskCacheExcludesEnvReaders(t *testing.T) {
+	dir := t.TempDir()
+	eng := New(unix.DefaultEnv(), Options{Seed: 1, CacheDir: dir})
+	if _, err := eng.Synthesize(context.Background(), "comm -23 - dict.sorted"); err != nil {
+		t.Logf("comm synthesis verdict: %v (exclusion applies regardless)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("env-reading command was disk-cached: %d entries", len(entries))
+	}
+}
+
+// TestPackageLevelSynthesize exercises the one-shot convenience entry
+// point.
+func TestPackageLevelSynthesize(t *testing.T) {
+	res, err := Synthesize(context.Background(), "wc -l", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combiner == nil || res.Combiner.String() == "" {
+		t.Error("package-level Synthesize returned no combiner")
+	}
+}
+
+// TestParallelForBounds sanity-checks the pool helper on edge shapes.
+func TestParallelForBounds(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 0}, {1, 5}, {4, 1}, {4, 100}, {100, 4},
+	} {
+		got := make([]int, tc.n)
+		parallelFor(context.Background(), tc.workers, tc.n, func(i int) { got[i] = i + 1 })
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d n=%d: slot %d not visited", tc.workers, tc.n, i)
+			}
+		}
+	}
+}

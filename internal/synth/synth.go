@@ -3,6 +3,11 @@
 // of the black-box command) and Algorithm 2 (input generation driven by a
 // gradient over input-shape mutations, scored by how many candidates each
 // mutation's inputs eliminate).
+//
+// The Engine is the synthesis entry point: candidate filtering and
+// gradient scoring fan out over a bounded worker pool, synthesis is
+// cancellable mid-round via context, and results are cached by canonical
+// command signature (see internal/synth/cache and DESIGN.md).
 package synth
 
 import (
@@ -13,8 +18,6 @@ import (
 	"time"
 
 	"kumquat/internal/dsl"
-	"kumquat/internal/shape"
-	"kumquat/internal/unix"
 )
 
 // Options tunes the synthesis algorithm. The zero value selects the
@@ -36,6 +39,17 @@ type Options struct {
 	// DisableGradient replaces Algorithm 2's best-mutation selection with a
 	// uniformly random mutation walk (the ablation baseline).
 	DisableGradient bool
+
+	// Workers bounds the candidate-filtering and gradient-scoring worker
+	// pool (0 = GOMAXPROCS, 1 = fully sequential). Synthesis results are
+	// identical at every worker count; only wall time changes.
+	Workers int
+	// CacheSize caps the in-memory combiner LRU in entries
+	// (0 = cache.DefaultCapacity; negative disables the LRU tier).
+	CacheSize int
+	// CacheDir, when non-empty, enables the on-disk combiner store so
+	// synthesis results persist across processes.
+	CacheDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -109,189 +123,6 @@ var ErrMultiInput = errors.New("synth: command reads multiple input streams")
 // ErrNonStream marks commands that do not process a data stream at all
 // (ls, mkfifo, rm — footnote 5).
 var ErrNonStream = errors.New("synth: command does not process an input stream")
-
-// Synthesizer synthesizes combiners for commands, caching per-command
-// results so pipeline compilation can reuse them.
-type Synthesizer struct {
-	Opts Options
-	Env  *unix.Env
-
-	cache map[string]*Result
-}
-
-// New returns a Synthesizer over the given command environment.
-func New(env *unix.Env, opts Options) *Synthesizer {
-	if env == nil {
-		env = unix.DefaultEnv()
-	}
-	return &Synthesizer{Opts: opts.withDefaults(), Env: env, cache: map[string]*Result{}}
-}
-
-// SynthesizeSpec parses a command spec and synthesizes its combiner,
-// caching by spec text.
-func (s *Synthesizer) SynthesizeSpec(spec string) (*Result, error) {
-	if r, ok := s.cache[spec]; ok {
-		return r, r.Err
-	}
-	cmd, err := unix.Parse(spec, s.Env)
-	if err != nil {
-		return nil, err
-	}
-	r := s.Synthesize(cmd)
-	s.cache[spec] = r
-	return r, r.Err
-}
-
-// Synthesize runs Algorithm 1 for one black-box command.
-func (s *Synthesizer) Synthesize(cmd unix.Command) *Result {
-	start := time.Now()
-	opts := s.Opts
-	res := &Result{Spec: cmd.Spec()}
-	if ns, ok := cmd.(interface{ NonStream() bool }); ok && ns.NonStream() {
-		res.Err = ErrNonStream
-		res.Duration = time.Since(start)
-		return res
-	}
-	if mi, ok := cmd.(interface{ MultiInput() bool }); ok && mi.MultiInput() {
-		res.Err = ErrMultiInput
-		res.Duration = time.Since(start)
-		return res
-	}
-
-	// Deterministic per-command seed.
-	rng := rand.New(rand.NewSource(opts.Seed ^ int64(hashSpec(cmd.Spec()))))
-
-	// Preprocessing (§3.2): probes, literal mining, delimiter selection.
-	p := preprocess(cmd, s.Env, rng)
-	res.Delims = p.delims
-
-	// Build the evaluation environment: f for rerun, comparator for merge.
-	env := &dsl.Env{RunF: cmd.Run}
-	if sc, ok := cmd.(*unix.SortCmd); ok {
-		env.Merge = sc
-	} else {
-		def, _ := unix.Parse("sort", s.Env)
-		env.Merge = def.(*unix.SortCmd)
-	}
-
-	// C0 ← AllCandidates(n).
-	cands := dsl.Enumerate(opts.MaxProductions, p.delims)
-	res.Space = dsl.Measure(cands)
-
-	gen := p.generator(rng)
-	seeds := p.seedShapes()
-
-	var (
-		inBytes, outBytes int
-		sawOutput         bool
-		stagnant          int
-	)
-	for round := 1; round <= opts.MaxRounds; round++ {
-		res.Rounds = round
-		s0 := seeds[(round-1)%len(seeds)]
-		if round > len(seeds) {
-			// RandomShape(): perturb a seed with a few random mutations.
-			for i := 0; i < 1+rng.Intn(3); i++ {
-				s0 = shape.Mutate(s0, rng.Intn(shape.NumMutations))
-			}
-		}
-		inputs := s.effectiveInputs(cmd, env, cands, gen, s0, rng)
-		obs := s.observe(cmd, inputs)
-		res.Observations += len(obs)
-		for i, o := range obs {
-			if o.Y12 != "" && o.Y12 != "\n" {
-				sawOutput = true
-			}
-			inBytes += len(inputs[i][0]) + len(inputs[i][1])
-			outBytes += len(o.Y12)
-		}
-		before := len(cands)
-		cands = filterCandidates(env, cands, obs)
-		if len(cands) == 0 {
-			res.Err = ErrNoCombiner
-			res.Duration = time.Since(start)
-			return res
-		}
-		if len(cands) == before {
-			stagnant++
-			if stagnant >= opts.StagnationRounds {
-				break
-			}
-		} else {
-			stagnant = 0
-		}
-	}
-	res.Duration = time.Since(start)
-	if !sawOutput {
-		res.Err = ErrNoOutputs
-		return res
-	}
-	if inBytes > 0 {
-		res.ReductionRatio = float64(outBytes) / float64(inBytes)
-	}
-	res.Plausible = cands
-	res.Combiner = buildComposite(cmd.Spec(), env, cands)
-	return res
-}
-
-// effectiveInputs is Algorithm 2 (GetEffectiveInputs): M gradient steps,
-// each trying all twelve mutations of the current shape, generating input
-// pairs from every mutation, and stepping to the mutation whose inputs
-// eliminated the most candidates.
-func (s *Synthesizer) effectiveInputs(cmd unix.Command, env *dsl.Env, cands []dsl.Candidate,
-	gen *shape.Generator, s0 shape.Shape, rng *rand.Rand) [][2]string {
-
-	opts := s.Opts
-	var all [][2]string
-	// Seed-shape inputs first: they do the bulk of the cheap elimination.
-	all = append(all, gen.Pairs(s0, opts.PairsPerShape)...)
-
-	cur := s0
-	// Score mutations against a bounded sample of live candidates so the
-	// gradient stays cheap even on the 110k-candidate spaces.
-	sample := sampleCandidates(cands, 4096, rng)
-	for m := 0; m < opts.MutationIters; m++ {
-		best, bestScore := -1, -1
-		for j := 0; j < shape.NumMutations; j++ {
-			sj := shape.Mutate(cur, j)
-			pairs := gen.Pairs(sj, opts.PairsPerShape)
-			all = append(all, pairs...)
-			if opts.DisableGradient {
-				continue
-			}
-			obs := s.observe(cmd, pairs)
-			score := countEliminated(env, sample, obs)
-			if score > bestScore {
-				best, bestScore = j, score
-			}
-		}
-		if opts.DisableGradient {
-			cur = shape.Mutate(cur, rng.Intn(shape.NumMutations))
-			continue
-		}
-		cur = shape.Mutate(cur, best)
-	}
-	return all
-}
-
-// observe executes the command on each input pair, producing Definition
-// 3.5's observations. Pairs on which the command errors are skipped (the
-// command's legal-input constraints are respected by construction for
-// sorted/file-name modes; errors elsewhere mean the generated input was
-// outside the command's domain).
-func (s *Synthesizer) observe(cmd unix.Command, pairs [][2]string) []Observation {
-	obs := make([]Observation, 0, len(pairs))
-	for _, p := range pairs {
-		y1, err1 := cmd.Run(p[0])
-		y2, err2 := cmd.Run(p[1])
-		y12, err12 := cmd.Run(p[0] + p[1])
-		if err1 != nil || err2 != nil || err12 != nil {
-			continue
-		}
-		obs = append(obs, Observation{Y1: y1, Y2: y2, Y12: y12})
-	}
-	return obs
-}
 
 // filterCandidates keeps the candidates plausible for every observation
 // (Definition 3.9): FilterCandidates in Algorithm 1.

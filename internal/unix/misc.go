@@ -29,6 +29,11 @@ func newCat(spec string, args []string, env *Env) (Command, error) {
 
 func (c *catCmd) Spec() string { return c.spec }
 
+// ReadsEnv reports whether Run's output depends on the simulated file
+// system (cat with a file operand): such results must not be reused
+// across environments.
+func (c *catCmd) ReadsEnv() bool { return c.file != "" }
+
 func (c *catCmd) Run(input string) (string, error) {
 	if c.file != "" {
 		return c.env.FS.Read(c.file)
@@ -296,6 +301,11 @@ func (c *commCmd) NeedsSortedInput() bool { return true }
 // MultiInput reports whether comm reads two files (no stdin): such
 // invocations are outside the single-stream synthesis model.
 func (c *commCmd) MultiInput() bool { return c.file1 != "-" }
+
+// ReadsEnv reports that Run's output depends on the simulated file
+// system (the dictionary operand), so results must not be reused across
+// environments.
+func (c *commCmd) ReadsEnv() bool { return true }
 
 func (c *commCmd) Run(input string) (string, error) {
 	first := input

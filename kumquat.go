@@ -32,6 +32,7 @@ import (
 	"kumquat/internal/dsl"
 	"kumquat/internal/pipeline"
 	"kumquat/internal/synth"
+	"kumquat/internal/synth/cache"
 	"kumquat/internal/unix"
 )
 
@@ -52,17 +53,23 @@ func (e *Env) Register(name, content string) { e.u.FS.Register(name, content) }
 // Read returns a registered file's contents.
 func (e *Env) Read(name string) (string, error) { return e.u.FS.Read(name) }
 
-// Options re-exports the synthesis tuning knobs.
+// Options re-exports the synthesis tuning knobs, including the engine's
+// Workers (parallel filtering pool), CacheSize (in-memory combiner LRU)
+// and CacheDir (on-disk combiner store) fields.
 type Options = synth.Options
 
 // Result is a command's synthesis outcome (search space, plausible
 // combiners, timing) — one row of the paper's Table 10.
 type Result = synth.Result
 
-// System owns a shared synthesizer with its per-command combiner cache.
+// SynthCacheStats re-exports the engine's cache counters: memory hits,
+// disk hits, and misses (full synthesis runs).
+type SynthCacheStats = cache.Stats
+
+// System owns a shared synthesis engine with its combiner caches.
 type System struct {
 	env *Env
-	syn *synth.Synthesizer
+	syn *synth.Engine
 }
 
 // New creates a System with default options.
@@ -115,34 +122,61 @@ func (s *System) Combine(combiner, cmdSpec, y1, y2 string) (string, error) {
 // the composite combiner; err is non-nil when no combiner exists for the
 // command (the paper's Table 9 cases).
 func (s *System) Synthesize(spec string) (*Result, error) {
-	return s.syn.SynthesizeSpec(spec)
+	return s.syn.Synthesize(context.Background(), spec)
 }
+
+// SynthesizeContext is Synthesize with cancellation: a cancelled ctx
+// aborts synthesis mid-round and returns the best-so-far Result with its
+// Err set to ctx.Err().
+func (s *System) SynthesizeContext(ctx context.Context, spec string) (*Result, error) {
+	return s.syn.Synthesize(ctx, spec)
+}
+
+// SynthCacheStats reports the system's cumulative combiner-cache
+// activity across all Synthesize and Parallelize calls.
+func (s *System) SynthCacheStats() SynthCacheStats { return s.syn.Stats() }
 
 // Plan is a compiled data-parallel pipeline with its executors.
 type Plan struct {
 	env   *Env
 	plans []*pipeline.Plan
 	outs  []string // output redirect targets per pipeline ("" = stdout)
+	// synthStats is the combiner-cache activity attributable to this
+	// plan's compilation, surfaced in RunReport. It is a windowed delta
+	// of the engine's cumulative counters, so it is exact only when no
+	// other Synthesize/Parallelize call on the same System overlaps the
+	// compilation.
+	synthStats SynthCacheStats
 }
 
 // Parallelize parses a shell script (one or more pipelines, VAR=${VAR:-..}
 // assignments, comments), synthesizes combiners for every stage, and
 // applies the §3.5 optimizations (combiner elimination, sequential rerun
-// stages).
+// stages). Combiners for repeated stages are resolved from the system's
+// cache; the per-compilation hit/miss counts are carried into the
+// RunReport of every Execute call on the returned Plan.
 func (s *System) Parallelize(script string) (*Plan, error) {
+	return s.ParallelizeContext(context.Background(), script)
+}
+
+// ParallelizeContext is Parallelize with cancellation: a cancelled ctx
+// aborts the in-flight stage synthesis mid-round.
+func (s *System) ParallelizeContext(ctx context.Context, script string) (*Plan, error) {
 	parsed, err := pipeline.ParseScript(script, nil)
 	if err != nil {
 		return nil, err
 	}
+	before := s.syn.Stats()
 	p := &Plan{env: s.env}
 	for _, pl := range parsed.Pipelines {
-		plan, err := pipeline.Compile(pl, s.syn)
+		plan, err := pipeline.CompileContext(ctx, pl, s.syn)
 		if err != nil {
 			return nil, err
 		}
 		p.plans = append(p.plans, plan)
 		p.outs = append(p.outs, pl.OutputFile)
 	}
+	p.synthStats = s.syn.Stats().Sub(before)
 	return p, nil
 }
 
@@ -314,6 +348,12 @@ type RunReport struct {
 	BytesOut int64
 	// Stages holds one entry per stage across all pipelines, in order.
 	Stages []StageReport
+	// SynthCache is the combiner-cache activity recorded while this
+	// plan was compiled: how many stage combiners were served from the
+	// cache (memory or disk) versus synthesized from scratch. The window
+	// is exact unless another Synthesize/Parallelize call on the same
+	// System overlapped the compilation.
+	SynthCache SynthCacheStats
 	// Output is the captured output stream when no WithOutput sink was
 	// given; empty otherwise.
 	Output string
@@ -354,7 +394,7 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 		captured = &strings.Builder{}
 		sink = captured
 	}
-	rep := &RunReport{Mode: cfg.mode, Parallelism: cfg.k}
+	rep := &RunReport{Mode: cfg.mode, Parallelism: cfg.k, SynthCache: p.synthStats}
 	counted := &countingWriter{w: sink}
 	start := time.Now()
 	for i, plan := range p.plans {
