@@ -11,6 +11,9 @@
 //	                              # run on the wordfreq pipeline
 //	kqbench -bench-synth OUT.json # sequential-vs-parallel synthesis and
 //	                              # cold-vs-warm combiner cache comparison
+//	kqbench -bench-combine OUT.json
+//	                              # fold-vs-tree combine and scan-vs-heap
+//	                              # k-way merge sweep over k
 package main
 
 import (
@@ -29,6 +32,8 @@ func main() {
 	scale := flag.Int("scale", 4000, "approximate input lines per script")
 	benchExec := flag.String("bench-exec", "", "write a buffered-vs-streaming executor comparison (wordfreq pipeline) to this JSON file and exit")
 	benchSynth := flag.String("bench-synth", "", "write a sequential-vs-parallel synthesis and cold-vs-warm cache comparison to this JSON file and exit")
+	benchCombine := flag.String("bench-combine", "", "write a fold-vs-tree combine and scan-vs-heap merge comparison to this JSON file and exit")
+	combineWorkers := flag.Int("combine-workers", 0, "combine-plane workers for -bench-combine (0 = GOMAXPROCS)")
 	k := flag.Int("k", 8, "parallelism degree for -bench-exec")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool for -bench-synth (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -41,6 +46,12 @@ func main() {
 	}
 	if *benchSynth != "" {
 		if err := writeBenchSynth(*benchSynth, *synthWorkers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchCombine != "" {
+		if err := writeBenchCombine(*benchCombine, *scale, *combineWorkers); err != nil {
 			fatal(err)
 		}
 		return
@@ -215,6 +226,35 @@ func writeBenchSynth(path string, workers int) error {
 	fmt.Printf("workers=%d cpus=%d agree=%v -> %s\n", cmp.Workers, cmp.CPUs, cmp.Agree, path)
 	if !cmp.Agree {
 		return fmt.Errorf("parallel synthesis disagrees with sequential")
+	}
+	return nil
+}
+
+// writeBenchCombine runs the combine-plane comparison and writes the
+// JSON report, echoing one line per measurement to stdout.
+func writeBenchCombine(path string, scale, workers int) error {
+	cmp, err := bench.CompareCombine(scale, workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, c := range cmp.FoldVsTree {
+		fmt.Printf("%-10s k=%-4d lines=%-7d fold=%8.3f ms  tree=%8.3f ms  speedup=%.2fx\n",
+			c.Spec, c.K, c.Lines, c.FoldMS, c.TreeMS, c.Speedup)
+	}
+	for _, m := range cmp.ScanVsHeap {
+		fmt.Printf("%-10s k=%-4d lines=%-7d scan=%8.3f ms  heap=%8.3f ms  speedup=%.2fx\n",
+			"merge", m.K, m.Lines, m.ScanMS, m.HeapMS, m.Speedup)
+	}
+	fmt.Printf("workers=%d cpus=%d agree=%v -> %s\n", cmp.Workers, cmp.CPUs, cmp.Agree, path)
+	if !cmp.Agree {
+		return fmt.Errorf("combine plane disagrees with its serial baseline")
 	}
 	return nil
 }

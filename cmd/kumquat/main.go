@@ -61,7 +61,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   kumquat synth [-synth-workers N] [-synth-cache DIR] '<command>'
   kumquat plan [-synth-workers N] [-synth-cache DIR] '<pipeline>'
-  kumquat run [-k N] [-mode MODE] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
+  kumquat run [-k N] [-mode MODE] [-combine-workers N] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
   kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2`)
 }
 
@@ -176,6 +176,8 @@ func runRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	k := fs.Int("k", 8, "parallelism degree")
 	mode := fs.String("mode", "optimized", "execution mode: optimized, unoptimized, serial, pipelined")
+	combineWorkers := fs.Int("combine-workers", 0,
+		"combine-plane tree-reduction workers (0 = match the chunk pool)")
 	report := fs.Bool("report", false, "print the per-stage execution report to stderr")
 	withSynth := synthFlags(fs)
 	var inputs multiFlag
@@ -212,6 +214,7 @@ func runRun(args []string) error {
 	rep, err := plan.Execute(ctx,
 		kumquat.WithParallelism(*k),
 		kumquat.WithMode(m),
+		kumquat.WithCombineWorkers(*combineWorkers),
 		kumquat.WithStdin(os.Stdin),
 		kumquat.WithOutput(os.Stdout))
 	if errors.Is(err, context.Canceled) {
@@ -242,8 +245,12 @@ func writeReport(rep *kumquat.RunReport) {
 		case st.Chunks > 1:
 			how = fmt.Sprintf("%d chunks", st.Chunks)
 		}
-		fmt.Fprintf(w, "  %-36s %-10s wall=%-10v in=%-10d out=%d\n",
-			st.Spec, how, st.Wall.Round(time.Microsecond), st.BytesIn, st.BytesOut)
+		combine := ""
+		if st.CombineWall > 0 {
+			combine = fmt.Sprintf(" combine=%v", st.CombineWall.Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "  %-36s %-10s wall=%-10v in=%-10d out=%d%s\n",
+			st.Spec, how, st.Wall.Round(time.Microsecond), st.BytesIn, st.BytesOut, combine)
 	}
 }
 

@@ -1,8 +1,6 @@
 package dsl
 
 import (
-	"strings"
-
 	"kumquat/internal/textio"
 )
 
@@ -30,18 +28,30 @@ func (s Stitch) Size() int { return 1 + s.B.Size() }
 // String renders the operator in the DSL's textual form.
 func (s Stitch) String() string { return "stitch " + s.B.String() }
 
-// InDomain reports y ∈ L(stitch) per Definition B.1.
+// InDomain reports y ∈ L(stitch) per Definition B.1. The stream is
+// indexed once (textio.LineSeq) instead of split into a []string — the
+// composite combiner re-checks domains on every substream per combine.
 func (s Stitch) InDomain(env *Env, y string) bool {
 	if !textio.IsStream(y) {
 		return false
 	}
-	for _, l := range textio.Lines(y) {
-		if !s.B.InDomain(env, l) {
+	ls := textio.ScanLines(y)
+	for i := 0; i < ls.Len(); i++ {
+		if !s.B.InDomain(env, ls.Line(i)) {
 			return false
 		}
 	}
 	return true
 }
+
+// Associative reports whether stitch may be tree-reduced: the boundary
+// merge compares equal lines and replaces them with B's result, so the
+// reduction order is immaterial exactly when B leaves the compared line
+// unchanged — B must be a selection operator (B(l, l) == l). A
+// value-rewriting B (e.g. add doubles an equal boundary line) makes the
+// merged line feed differently into the next boundary comparison
+// depending on bracketing.
+func (s Stitch) Associative() bool { return selection(s.B) }
 
 // Eval treats a bare "\n" as a stream with one empty line rather than
 // special-casing it to concatenation as Figure 6 does: the uniform rule is
@@ -85,13 +95,15 @@ func (s Stitch2) String() string {
 	return "stitch2 " + s.D.String() + " " + s.B1.String() + " " + s.B2.String()
 }
 
-// InDomain reports y ∈ L(stitch2) per Definition B.1.
+// InDomain reports y ∈ L(stitch2) per Definition B.1, indexing the
+// stream's lines once via textio.LineSeq.
 func (s Stitch2) InDomain(env *Env, y string) bool {
 	if !textio.IsStream(y) {
 		return false
 	}
-	for _, l := range textio.Lines(y) {
-		_, head, tail, ok := lineFields(s.D, l)
+	ls := textio.ScanLines(y)
+	for i := 0; i < ls.Len(); i++ {
+		_, head, tail, ok := lineFields(s.D, ls.Line(i))
 		if !ok {
 			return false
 		}
@@ -100,6 +112,41 @@ func (s Stitch2) InDomain(env *Env, y string) bool {
 		}
 	}
 	return true
+}
+
+// headMonotone reports whether a stitch2 head operator's merged result
+// is never shorter than its left operand's head (add and concat grow,
+// first reproduces the left head verbatim; front/back/fuse inherit from
+// their child). This is the padding-safety half of stitch2's
+// associativity: FieldPad re-derives Pad.Width from merged intermediate
+// lines, and the re-derived width agrees across bracketings exactly when
+// the merged head cannot shrink below the left head — a shrinking head
+// (second) lets the fold collapse the pad to PadNone on an intermediate
+// line while the tree re-pads from the original operand, producing
+// different bytes.
+func headMonotone(op Op) bool {
+	switch o := op.(type) {
+	case Add, Concat, First:
+		return true
+	case Front:
+		return headMonotone(o.B)
+	case Back:
+		return headMonotone(o.B)
+	case Fuse:
+		return headMonotone(o.B)
+	}
+	return false
+}
+
+// Associative reports whether stitch2 may be tree-reduced: boundary
+// matching compares tails, so B2 must leave the matched tail unchanged
+// (a selection operator), while the heads — never compared — need an
+// associative, head-monotone B1. Width-monotone merging keeps the
+// re-extracted Pad.Width of an intermediate line equal across
+// bracketings (see headMonotone), so the tree cannot change the final
+// column alignment.
+func (s Stitch2) Associative() bool {
+	return s.B1.Associative() && headMonotone(s.B1) && selection(s.B2)
 }
 
 // Eval applies stitch2 per Figure 6's big-step semantics.
@@ -148,13 +195,16 @@ func (o Offset) Size() int { return 1 + o.B.Size() }
 // String renders the operator in the DSL's textual form.
 func (o Offset) String() string { return "offset " + o.D.String() + " " + o.B.String() }
 
-// InDomain reports y ∈ L(offset) per Definition B.1.
+// InDomain reports y ∈ L(offset) per Definition B.1, indexing the
+// stream's lines once via textio.LineSeq.
 func (o Offset) InDomain(env *Env, y string) bool {
 	if !textio.IsStream(y) {
 		return false
 	}
 	any := false
-	for _, l := range textio.Lines(y) {
+	ls := textio.ScanLines(y)
+	for i := 0; i < ls.Len(); i++ {
+		l := ls.Line(i)
 		if l == "" {
 			continue
 		}
@@ -167,7 +217,16 @@ func (o Offset) InDomain(env *Env, y string) bool {
 	return any
 }
 
-// Eval applies offset per Figure 6's big-step semantics.
+// Associative reports whether the adjustment operator is associative:
+// offset rewrites every head of y2 as B(anchor, head) with the anchor
+// always the left argument, so nested offsets compose heads as
+// B(B(a, b), c) on one bracketing and B(a, B(b, c)) on the other.
+func (o Offset) Associative() bool { return o.B.Associative() }
+
+// Eval applies offset per Figure 6's big-step semantics. The output
+// assembles in a pooled builder (offset is the highest-churn combiner
+// Eval: it rewrites every line of y2), and y2's lines are walked through
+// a LineSeq index rather than a []string split.
 func (o Offset) Eval(env *Env, y1, y2 string) (string, error) {
 	l1, ok := textio.SplitLastNonemptyLine(y1)
 	if !ok {
@@ -177,9 +236,13 @@ func (o Offset) Eval(env *Env, y1, y2 string) (string, error) {
 	if !okf {
 		return "", evalErr(o, "anchor line lacks the field delimiter")
 	}
-	var b strings.Builder
+	b := textio.GetBuilder()
+	defer textio.PutBuilder(b)
+	b.Grow(len(y1) + len(y2))
 	b.WriteString(y1)
-	for _, l2 := range textio.Lines(y2) {
+	ls := textio.ScanLines(y2)
+	for i := 0; i < ls.Len(); i++ {
+		l2 := ls.Line(i)
 		if l2 == "" {
 			b.WriteByte('\n')
 			continue

@@ -56,6 +56,10 @@ type StageMetrics struct {
 	Wall     time.Duration
 	BytesIn  int64
 	BytesOut int64
+	// CombineWall is the portion of Wall spent recombining the k chunk
+	// outputs (zero for unchunked, eliminated-combiner and streamed
+	// stages) — the combine plane's share of the stage.
+	CombineWall time.Duration
 	// Chunks is the number of parallel instances the stage ran as
 	// (0 when the stage was not chunked).
 	Chunks int
@@ -211,6 +215,38 @@ type executor struct {
 	// cancellation doesn't hang the executor.
 	external bool
 	pool     *workerPool
+	// combineWorkers bounds the tree combine's concurrency (the §3.5
+	// combine plane). It defaults to the chunk pool's size so combine
+	// parallelism matches execution parallelism.
+	combineWorkers int
+}
+
+// ExecOpt tunes one Execute call beyond the mode/k pair.
+type ExecOpt func(*executor)
+
+// WithCombineWorkers bounds the concurrency of the tree-reduction
+// combine plane; n <= 0 keeps the default (the chunk worker pool's
+// size). 1 selects the sequential tree, which still beats the left fold
+// on copied bytes for boundary-local combiners.
+func WithCombineWorkers(n int) ExecOpt {
+	return func(ex *executor) {
+		if n > 0 {
+			ex.combineWorkers = n
+		}
+	}
+}
+
+// combine recombines a parallel stage's chunk outputs through the
+// stage's synthesized combiner on the tree-reduction plane, recording
+// the combine's share of the stage wall in m.CombineWall.
+func (ex *executor) combine(sp *StagePlan, outs []string, m *StageMetrics) (string, error) {
+	start := time.Now()
+	v, err := sp.Synth.Combiner.CombineKTree(outs, ex.combineWorkers)
+	m.CombineWall = time.Since(start)
+	if err != nil {
+		return "", fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
+	}
+	return v, nil
 }
 
 // Execute runs the plan in the given mode with k-way data parallelism,
@@ -221,19 +257,26 @@ type executor struct {
 // reaped before returning; the one residue of cancellation is a single
 // parked helper when the external stdin reader is blocked mid-Read — it
 // exits as soon as that Read returns, as any io.Reader demands.
-func (p *Plan) Execute(ctx context.Context, env *unix.Env, stdin io.Reader, out io.Writer, mode Mode, k int) ([]StageMetrics, error) {
+func (p *Plan) Execute(ctx context.Context, env *unix.Env, stdin io.Reader, out io.Writer, mode Mode, k int, opts ...ExecOpt) ([]StageMetrics, error) {
 	// Cap in-flight chunk executions at the machine's parallelism: with
 	// k > GOMAXPROCS the extra chunks wait for a pool slot.
 	poolSize := k
 	if n := runtime.GOMAXPROCS(0); n < poolSize {
 		poolSize = n
 	}
+	if poolSize < 1 {
+		poolSize = 1
+	}
 	ex := &executor{
-		ctx:      ctx,
-		env:      env,
-		k:        k,
-		external: p.InputFile == "" && stdin != nil && !inMemoryReader(stdin),
-		pool:     newWorkerPool(poolSize),
+		ctx:            ctx,
+		env:            env,
+		k:              k,
+		external:       p.InputFile == "" && stdin != nil && !inMemoryReader(stdin),
+		pool:           newWorkerPool(poolSize),
+		combineWorkers: poolSize,
+	}
+	for _, opt := range opts {
+		opt(ex)
 	}
 	var ms []StageMetrics
 	var err error
@@ -374,9 +417,9 @@ func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parall
 				return metrics, err
 			}
 			m.Chunks = len(chunks)
-			next, err = sp.Synth.Combiner.CombineK(outs)
+			next, err = ex.combine(sp, outs, &m)
 			if err != nil {
-				return metrics, fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
+				return metrics, err
 			}
 		} else {
 			var err error
@@ -414,9 +457,9 @@ func (ex *executor) runSplitStage(ctx context.Context, sp *StagePlan, chunks []s
 		m.BytesOut = totalLen(outs)
 		return outs, "", nil
 	}
-	combined, err = sp.Synth.Combiner.CombineK(outs)
+	combined, err = ex.combine(sp, outs, m)
 	if err != nil {
-		return nil, "", fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
+		return nil, "", err
 	}
 	m.Wall += time.Since(start)
 	m.BytesOut = int64(len(combined))

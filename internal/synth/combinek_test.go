@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"runtime"
+	"testing"
+
+	"kumquat/internal/shape"
+	"kumquat/internal/textio"
+	"kumquat/internal/unix"
+)
+
+// exampleSuiteSpecs are the distinct commands of the four examples/
+// pipelines (quickstart, wordfreq, unix50, analytics) plus the counting
+// and squeeze shapes — together they cover every combiner class the
+// synthesizer produces for the benchmark catalog: concat, back-add,
+// stitch2, merge, rerun.
+var exampleSuiteSpecs = []string{
+	"sort",
+	"sort -rn",
+	"sort -u",
+	"uniq",
+	"uniq -c",
+	"tr A-Z a-z",
+	`tr -cs A-Za-z '\n'`,
+	`cut -d ' ' -f 1`,
+	`cut -d ',' -f 1,3`,
+	`sed 's/T..:..:..//'`,
+	"wc -l",
+	"grep light",
+}
+
+// TestCombineKTreeMatchesCombineK is the acceptance gate for the parallel
+// combine plane: for every combiner synthesized over the example suite,
+// CombineKTree must be byte-identical to the serial CombineK — and both
+// to the serial command run — at 1, 4 and GOMAXPROCS workers.
+func TestCombineKTreeMatchesCombineK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes the full example suite")
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	gen := shape.New(7)
+	for _, spec := range exampleSuiteSpecs {
+		res := synthesize(t, spec)
+		if res.Err != nil {
+			t.Errorf("%s: no combiner: %v", spec, res.Err)
+			continue
+		}
+		cmd, err := unix.Parse(spec, unix.DefaultEnv())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			s := shape.Seed()
+			s.Lines = shape.Config{Min: 40, Max: 80, Distinct: 9}
+			x := gen.Stream(s)
+			want, err := cmd.Run(x)
+			if err != nil {
+				t.Fatalf("%s: serial run: %v", spec, err)
+			}
+			for _, k := range []int{2, 5, 16} {
+				chunks := textio.ChunkLines(x, k)
+				outs := make([]string, len(chunks))
+				for i, ch := range chunks {
+					outs[i], err = cmd.Run(ch)
+					if err != nil {
+						t.Fatalf("%s: chunk run: %v", spec, err)
+					}
+				}
+				fold, ferr := res.Combiner.CombineK(outs)
+				if ferr != nil {
+					t.Fatalf("%s k=%d: CombineK: %v", spec, k, ferr)
+				}
+				if fold != want {
+					t.Fatalf("%s k=%d: CombineK=%q, serial=%q", spec, k, fold, want)
+				}
+				for _, w := range workerCounts {
+					tree, terr := res.Combiner.CombineKTree(outs, w)
+					if terr != nil {
+						t.Fatalf("%s k=%d workers=%d: CombineKTree: %v", spec, k, w, terr)
+					}
+					if tree != fold {
+						t.Fatalf("%s k=%d workers=%d: tree=%q, fold=%q", spec, k, w, tree, fold)
+					}
+				}
+			}
+		}
+	}
+}

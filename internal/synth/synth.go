@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
@@ -212,24 +213,34 @@ func buildComposite(spec string, env *dsl.Env, plausible []dsl.Candidate) *Combi
 	}
 	// Order: smaller (more specific) combiners first; rerun last (its
 	// domain is universal, so anything after it would be unreachable).
-	ordered := append([]dsl.Candidate(nil), chosen...)
-	for i := 1; i < len(ordered); i++ {
-		for j := i; j > 0 && combinerLess(ordered[j], ordered[j-1]); j-- {
-			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+	// Keys are precomputed once per candidate — a cancellation mid-round
+	// can hand this function the entire unfiltered space (110k+
+	// candidates), where a comparison-time String() render inside an
+	// O(n²) sort is an effective hang.
+	type keyed struct {
+		rank, size int
+		str        string
+		c          dsl.Candidate
+	}
+	keys := make([]keyed, len(chosen))
+	for i, c := range chosen {
+		keys[i] = keyed{combinerRank(c), c.Size(), c.String(), c}
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
 		}
+		if a.size != b.size {
+			return a.size < b.size
+		}
+		return a.str < b.str
+	})
+	ordered := make([]dsl.Candidate, len(keys))
+	for i, k := range keys {
+		ordered[i] = k.c
 	}
 	return &Combiner{Spec: spec, Candidates: ordered, env: env}
-}
-
-func combinerLess(a, b dsl.Candidate) bool {
-	ra, rb := combinerRank(a), combinerRank(b)
-	if ra != rb {
-		return ra < rb
-	}
-	if a.Size() != b.Size() {
-		return a.Size() < b.Size()
-	}
-	return a.String() < b.String()
 }
 
 // combinerRank orders composite members: concat first (universal domain and
@@ -308,6 +319,26 @@ func (c *Combiner) Combine(y1, y2 string) (string, error) {
 // CombineK merges k parallel outputs using the k-way generalization of
 // §3.5 for the first domain-accepting candidate.
 func (c *Combiner) CombineK(outs []string) (string, error) {
+	return c.combineK(outs, func(cand dsl.Candidate) (string, error) {
+		return dsl.CombineK(c.env, cand, outs)
+	})
+}
+
+// CombineKTree merges k parallel outputs like CombineK but reduces
+// associative pairwise combiners as a balanced binary tree over at most
+// workers concurrent evaluations (dsl.CombineKTree) — the parallel
+// combine plane. Candidate dispatch, domain checks and the simultaneous
+// concat/merge/rerun paths are identical to CombineK's, and the output is
+// byte-identical at every worker count.
+func (c *Combiner) CombineKTree(outs []string, workers int) (string, error) {
+	return c.combineK(outs, func(cand dsl.Candidate) (string, error) {
+		return dsl.CombineKTree(c.env, cand, outs, workers)
+	})
+}
+
+// combineK is the shared k-way dispatch: find the first candidate whose
+// domain contains every nonempty substream and combine through it.
+func (c *Combiner) combineK(outs []string, combine func(dsl.Candidate) (string, error)) (string, error) {
 	nonEmpty := 0
 	for _, o := range outs {
 		if o != "" {
@@ -334,7 +365,7 @@ func (c *Combiner) CombineK(outs []string) (string, error) {
 		if !ok {
 			continue
 		}
-		v, err := dsl.CombineK(c.env, cand, outs)
+		v, err := combine(cand)
 		if err == nil {
 			return v, nil
 		}

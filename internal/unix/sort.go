@@ -1,6 +1,7 @@
 package unix
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -188,25 +189,31 @@ func (s *SortCmd) compareKey(a, b string) int {
 	return strings.Compare(ka, kb)
 }
 
-// Less is the full GNU ordering: key comparison with -r reversal, falling
-// back to a bytewise whole-line last-resort comparison on key ties.
-func (s *SortCmd) Less(a, b string) bool {
+// compare is the full GNU ordering as a three-way comparison: key
+// comparison with -r reversal, falling back to a bytewise whole-line
+// last-resort comparison on key ties (suppressed under -u, whose ties
+// are genuine). The merge heap uses the three-way form directly so one
+// comparator run distinguishes less/tie/greater.
+func (s *SortCmd) compare(a, b string) int {
 	c := s.compareKey(a, b)
 	if s.Reverse || s.KeyRev {
 		c = -c
 	}
 	if c != 0 {
-		return c < 0
+		return c
 	}
 	if s.Unique {
-		return false // equal keys: order among them irrelevant, dedup keeps first
+		return 0 // equal keys: order among them irrelevant, dedup keeps first
 	}
 	c = strings.Compare(a, b)
 	if s.Reverse {
 		c = -c
 	}
-	return c < 0
+	return c
 }
+
+// Less is the full GNU ordering: compare < 0.
+func (s *SortCmd) Less(a, b string) bool { return s.compare(a, b) < 0 }
 
 // EqualKey reports whether two lines compare equal under the key (used by
 // -u and by merge dedup).
@@ -214,10 +221,13 @@ func (s *SortCmd) EqualKey(a, b string) bool { return s.compareKey(a, b) == 0 }
 
 // IsSorted reports whether the stream is already ordered under this
 // command's comparator — the legality domain of the merge combiner.
+// The stream is indexed once (textio.LineSeq) rather than split into a
+// fresh []string: sortedness checks run on every merge operand during
+// synthesis domain filtering, so this path is allocation-sensitive.
 func (s *SortCmd) IsSorted(stream string) bool {
-	lines := textio.Lines(stream)
-	for i := 1; i < len(lines); i++ {
-		if s.Less(lines[i], lines[i-1]) {
+	ls := textio.ScanLines(stream)
+	for i := 1; i < ls.Len(); i++ {
+		if s.Less(ls.Line(i), ls.Line(i-1)) {
 			return false
 		}
 	}
@@ -253,10 +263,132 @@ func (s *SortCmd) dedup(lines []string) []string {
 	return out
 }
 
+// mergeCursor walks one pre-sorted stream line by line without
+// materializing its lines: the current line is s[start:end] (terminator
+// excluded) and advance re-indexes in place. idx is the stream's position
+// in the merge argument list — the tie-stability key.
+type mergeCursor struct {
+	s          string
+	start, end int
+	idx        int
+}
+
+// newMergeCursor positions a cursor on the stream's first line; ok is
+// false for an empty stream.
+func newMergeCursor(s string, idx int) (mergeCursor, bool) {
+	if s == "" {
+		return mergeCursor{}, false
+	}
+	c := mergeCursor{s: s, idx: idx}
+	if j := strings.IndexByte(s, '\n'); j >= 0 {
+		c.end = j
+	} else {
+		c.end = len(s)
+	}
+	return c, true
+}
+
+// line returns the current line without its terminator.
+func (c *mergeCursor) line() string { return c.s[c.start:c.end] }
+
+// advance moves to the next line; ok is false once the stream is
+// exhausted. Line boundaries follow textio.Lines: a trailing newline does
+// not produce an empty final line, an unterminated final line counts.
+func (c *mergeCursor) advance() bool {
+	next := c.end + 1
+	if next >= len(c.s) {
+		return false
+	}
+	c.start = next
+	if j := strings.IndexByte(c.s[next:], '\n'); j >= 0 {
+		c.end = next + j
+	} else {
+		c.end = len(c.s)
+	}
+	return true
+}
+
+// mergeHeap is the k-way merge front: a min-heap of stream cursors
+// ordered by the comparator, with ties broken by stream index so the
+// merge stays stable by argument position.
+type mergeHeap struct {
+	s  *SortCmd
+	cs []mergeCursor
+}
+
+func (h *mergeHeap) Len() int { return len(h.cs) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	if c := h.s.compare(h.cs[i].line(), h.cs[j].line()); c != 0 {
+		return c < 0
+	}
+	return h.cs[i].idx < h.cs[j].idx
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.cs[i], h.cs[j] = h.cs[j], h.cs[i] }
+
+func (h *mergeHeap) Push(x any) { h.cs = append(h.cs, x.(mergeCursor)) }
+
+func (h *mergeHeap) Pop() any {
+	n := len(h.cs) - 1
+	c := h.cs[n]
+	h.cs = h.cs[:n]
+	return c
+}
+
 // MergeStreams merges k pre-sorted streams under this comparator, as the
 // Unix script "sort -m <flags> $*" does in the paper's k-way combiner
 // implementation (§3.5). Stability: ties are taken from earlier streams.
+//
+// The merge front is a container/heap of per-stream cursors, so each
+// output line costs O(log k) comparisons (O(total·log k) overall) instead
+// of the O(total·k) of a per-line scan over all cursors, and no stream is
+// ever split into a []string — lines stream from the cursors straight
+// into a pooled output builder, with -u dedup applied on the fly. The
+// output is byte-identical to MergeStreamsScan, the retired scan
+// implementation kept as the benchmark baseline.
 func (s *SortCmd) MergeStreams(streams ...string) string {
+	h := mergeHeap{s: s, cs: make([]mergeCursor, 0, len(streams))}
+	total := 0
+	for i, st := range streams {
+		total += len(st)
+		if c, ok := newMergeCursor(st, i); ok {
+			h.cs = append(h.cs, c)
+		}
+	}
+	if len(h.cs) == 0 {
+		return ""
+	}
+	heap.Init(&h)
+	buf := textio.GetBuilder()
+	defer textio.PutBuilder(buf)
+	// Exact when every stream is newline-terminated; the slack covers
+	// terminators appended to unterminated final lines.
+	buf.Grow(total + len(streams))
+	var last string
+	haveLast := false
+	for h.Len() > 0 {
+		line := h.cs[0].line()
+		if !s.Unique || !haveLast || !s.EqualKey(last, line) {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			last, haveLast = line, true
+		}
+		if h.cs[0].advance() {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return buf.String()
+}
+
+// MergeStreamsScan is the pre-heap merge: a per-line linear scan over all
+// k cursors (O(total·k) comparisons) materializing every line up front.
+// It is retained only as the ablation baseline for the k-way merge
+// benchmarks and the byte-identity tests; execution always goes through
+// MergeStreams.
+func (s *SortCmd) MergeStreamsScan(streams ...string) string {
 	type cursor struct {
 		lines []string
 		pos   int

@@ -282,16 +282,26 @@ func (m Mode) internal() (pipeline.Mode, error) {
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	k     int
-	mode  Mode
-	stdin io.Reader
-	out   io.Writer
+	k              int
+	combineWorkers int
+	mode           Mode
+	stdin          io.Reader
+	out            io.Writer
 }
 
 // WithParallelism sets the data-parallelism degree k (default:
 // runtime.GOMAXPROCS(0)).
 func WithParallelism(k int) ExecOption {
 	return func(c *execConfig) { c.k = k }
+}
+
+// WithCombineWorkers bounds the concurrency of the combine plane: the
+// tree reduction that merges each parallel stage's k substreams
+// (default: the executor's chunk pool size, i.e. min(k, GOMAXPROCS)).
+// The combined output is byte-identical at every worker count; the knob
+// trades combine wall time only.
+func WithCombineWorkers(n int) ExecOption {
+	return func(c *execConfig) { c.combineWorkers = n }
 }
 
 // WithMode selects the execution configuration (default: Optimized).
@@ -323,6 +333,10 @@ type StageReport struct {
 	// Wall is the stage's wall-clock activity time. Streamed stages
 	// overlap, so stage walls can sum to more than the report's Wall.
 	Wall time.Duration
+	// CombineWall is the share of Wall spent recombining the stage's k
+	// chunk outputs on the combine plane (zero when the stage was not
+	// chunked or its combiner was eliminated).
+	CombineWall time.Duration
 	// BytesIn and BytesOut measure the stage's stream volume.
 	BytesIn  int64
 	BytesOut int64
@@ -407,18 +421,20 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 			redirect = &strings.Builder{}
 			target = redirect
 		}
-		ms, err := plan.Execute(ctx, p.env.u, cfg.stdin, target, mode, cfg.k)
+		ms, err := plan.Execute(ctx, p.env.u, cfg.stdin, target, mode, cfg.k,
+			pipeline.WithCombineWorkers(cfg.combineWorkers))
 		if err != nil {
 			return nil, err
 		}
 		for j, m := range ms {
 			sr := StageReport{
-				Pipeline: i,
-				Wall:     m.Wall,
-				BytesIn:  m.BytesIn,
-				BytesOut: m.BytesOut,
-				Chunks:   m.Chunks,
-				Streamed: m.Streamed,
+				Pipeline:    i,
+				Wall:        m.Wall,
+				CombineWall: m.CombineWall,
+				BytesIn:     m.BytesIn,
+				BytesOut:    m.BytesOut,
+				Chunks:      m.Chunks,
+				Streamed:    m.Streamed,
 			}
 			if j < len(plan.Stages) {
 				sr.StageInfo = stageInfo(plan.Stages[j])
