@@ -14,6 +14,9 @@
 //	kqbench -bench-combine OUT.json
 //	                              # fold-vs-tree combine and scan-vs-heap
 //	                              # k-way merge sweep over k
+//	kqbench -bench-serve OUT.json # loopback kumquatd serving comparison:
+//	                              # cold-vs-warm request latency and
+//	                              # 1-vs-N concurrent-client throughput
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"kumquat/internal/bench"
+	"kumquat/internal/bench/serve"
 )
 
 func main() {
@@ -33,6 +37,7 @@ func main() {
 	benchExec := flag.String("bench-exec", "", "write a buffered-vs-streaming executor comparison (wordfreq pipeline) to this JSON file and exit")
 	benchSynth := flag.String("bench-synth", "", "write a sequential-vs-parallel synthesis and cold-vs-warm cache comparison to this JSON file and exit")
 	benchCombine := flag.String("bench-combine", "", "write a fold-vs-tree combine and scan-vs-heap merge comparison to this JSON file and exit")
+	benchServe := flag.String("bench-serve", "", "write a loopback-daemon serving comparison (cold-vs-warm latency, concurrent-client throughput) to this JSON file and exit")
 	combineWorkers := flag.Int("combine-workers", 0, "combine-plane workers for -bench-combine (0 = GOMAXPROCS)")
 	k := flag.Int("k", 8, "parallelism degree for -bench-exec")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool for -bench-synth (0 = GOMAXPROCS)")
@@ -52,6 +57,12 @@ func main() {
 	}
 	if *benchCombine != "" {
 		if err := writeBenchCombine(*benchCombine, *scale, *combineWorkers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchServe != "" {
+		if err := writeBenchServe(*benchServe, *synthWorkers); err != nil {
 			fatal(err)
 		}
 		return
@@ -255,6 +266,36 @@ func writeBenchCombine(path string, scale, workers int) error {
 	fmt.Printf("workers=%d cpus=%d agree=%v -> %s\n", cmp.Workers, cmp.CPUs, cmp.Agree, path)
 	if !cmp.Agree {
 		return fmt.Errorf("combine plane disagrees with its serial baseline")
+	}
+	return nil
+}
+
+// writeBenchServe runs the service-plane comparison against a loopback
+// daemon and writes the JSON report, echoing one line per measurement.
+func writeBenchServe(path string, workers int) error {
+	cmp, err := serve.Compare(workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, s := range cmp.Specs {
+		fmt.Printf("%-22s space=%-7d cold=%8.1f ms  warm=%8.3f ms  speedup=%7.1fx tier=%s\n",
+			s.Spec, s.Space, s.ColdMS, s.WarmMS, s.WarmSpeedup, s.WarmTier)
+	}
+	for _, th := range cmp.Throughput {
+		fmt.Printf("clients=%-3d requests=%-4d wall=%8.1f ms  %8.1f req/s\n",
+			th.Clients, th.Requests, th.WallMS, th.RPS)
+	}
+	fmt.Printf("workers=%d cpus=%d execute_agree=%v agree=%v -> %s\n",
+		cmp.Workers, cmp.CPUs, cmp.ExecuteAgree, cmp.Agree, path)
+	if !cmp.Agree {
+		return fmt.Errorf("service plane disagrees: warm requests not ≥10× faster memory hits, or execute diverged")
 	}
 	return nil
 }

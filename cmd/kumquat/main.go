@@ -47,6 +47,8 @@ func main() {
 		err = runRun(os.Args[2:])
 	case "combine":
 		err = runCombine(os.Args[2:])
+	case "version", "-version", "--version":
+		runVersion()
 	default:
 		usage()
 		os.Exit(2)
@@ -62,7 +64,14 @@ func usage() {
   kumquat synth [-synth-workers N] [-synth-cache DIR] '<command>'
   kumquat plan [-synth-workers N] [-synth-cache DIR] '<pipeline>'
   kumquat run [-k N] [-mode MODE] [-combine-workers N] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
-  kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2`)
+  kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2
+  kumquat version`)
+}
+
+// runVersion prints the build surface: module version, toolchain, and
+// the effective parallelism/cache defaults.
+func runVersion() {
+	kumquat.Info().Fprint(os.Stdout, "kumquat")
 }
 
 // synthFlags registers the synthesis-engine flags shared by the synth,

@@ -1,0 +1,101 @@
+// Command kumquatd is the KumQuat daemon: an HTTP service exposing
+// combiner synthesis, pipeline planning and streamed execution over one
+// long-lived engine, so the combiner caches stay warm across requests
+// and users.
+//
+// Usage:
+//
+//	kumquatd -addr :9917 -synth-cache /var/cache/kumquat
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/synthesize   {"spec": "uniq -c"} → combiner verdict
+//	POST /v1/parallelize  {"script": "...", "files": {...}} → plan summary
+//	POST /v1/execute?script=...&k=8&mode=optimized
+//	                      body streams in as input, stdout streams back,
+//	                      run report arrives in the X-Kumquat-Report trailer
+//	GET  /v1/version      build info + service limits
+//	GET  /healthz         liveness
+//	GET  /metrics         Prometheus text exposition
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
+// requests get -drain-timeout to finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kumquat"
+	"kumquat/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9917", "listen address")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently-served requests (0 = 2×GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a slot before 429 (0 = 64)")
+	defaultK := flag.Int("k", 0, "default execute parallelism (0 = GOMAXPROCS)")
+	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("synth-cache", "", "directory for the on-disk combiner cache (empty = memory only)")
+	seed := flag.Int64("seed", 1, "synthesis random seed")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	version := flag.Bool("version", false, "print build info and exit")
+	flag.Parse()
+
+	if *version {
+		kumquat.Info().Fprint(os.Stdout, "kumquatd")
+		return
+	}
+
+	srv := server.New(server.Config{
+		SynthOptions: kumquat.Options{
+			Seed:     *seed,
+			Workers:  *synthWorkers,
+			CacheDir: *cacheDir,
+		},
+		MaxInFlight:        *maxInFlight,
+		QueueDepth:         *queueDepth,
+		DefaultParallelism: *defaultK,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until the first SIGINT/SIGTERM, then drain: stop accepting,
+	// give in-flight requests the drain budget, exit. A second signal
+	// during the drain kills the process via the restored default
+	// disposition.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "kumquatd: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "kumquatd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop() // re-arm default signal disposition for a hard second hit
+		fmt.Fprintf(os.Stderr, "kumquatd: draining (%v budget)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "kumquatd: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "kumquatd: drained")
+	}
+}

@@ -1,0 +1,269 @@
+// Package serve benchmarks the service plane: it boots an in-process
+// kumquatd on a loopback listener and measures cold-vs-warm request
+// latency and concurrent-client throughput — the numbers behind
+// `kqbench -bench-serve` and BENCH_serve.json. It lives apart from
+// internal/bench so that package (imported by the root benchmarks)
+// never depends on the public kumquat API.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"kumquat"
+	"kumquat/internal/server"
+	"kumquat/internal/server/client"
+)
+
+// benchSpecs are the single-command serving workloads, one per
+// search-space size class — the same classes internal/bench's synthesis
+// comparison uses: 2700 (1 delimiter), 26404 (2) and the full
+// 110,444-candidate space (3).
+var benchSpecs = []string{
+	"wc -l",
+	"uniq -c",
+	`cut -d ',' -f 1,2`,
+}
+
+// serveWarmIters is how many warm requests each spec's warm latency is
+// measured over (the minimum is reported: it isolates the lookup-path
+// cost from scheduler noise).
+const serveWarmIters = 30
+
+// serveThroughputRequests is the total request count of each
+// throughput configuration.
+const serveThroughputRequests = 200
+
+// ServeSpecLatency is one command's cold-vs-warm serving measurement
+// through the daemon: the first request pays synthesis, every later
+// request is a cache lookup plus HTTP overhead.
+type ServeSpecLatency struct {
+	Spec        string  `json:"spec"`
+	Space       int     `json:"space"`
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// WarmTier is the cache tier the warm requests reported ("memory"
+	// when the service plane works as designed).
+	WarmTier string `json:"warm_tier"`
+}
+
+// ServeThroughput is one concurrency configuration's warm-request
+// throughput over loopback.
+type ServeThroughput struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	WallMS   float64 `json:"wall_ms"`
+	RPS      float64 `json:"rps"`
+}
+
+// ServeComparison is the BENCH_serve.json payload: per-spec cold-vs-warm
+// serving latency and 1-vs-N concurrent-client throughput against a
+// loopback kumquatd.
+type ServeComparison struct {
+	Workers int `json:"workers"`
+	// CPUs bounds any concurrency speedup (single-core runners serve
+	// N clients at 1-client throughput).
+	CPUs        int                `json:"cpus"`
+	MaxInFlight int                `json:"max_in_flight"`
+	QueueDepth  int                `json:"queue_depth"`
+	Specs       []ServeSpecLatency `json:"specs"`
+	Throughput  []ServeThroughput  `json:"throughput"`
+	// ExecuteAgree reports that a streamed execute through the daemon
+	// reproduced the in-process library's output byte-for-byte.
+	ExecuteAgree bool `json:"execute_agree"`
+	// Agree summarizes the run's health: every warm request was a
+	// memory-tier hit at least 10× faster than its cold request, and
+	// the executes agreed.
+	Agree bool `json:"agree"`
+}
+
+// Compare benchmarks the service plane: it starts an in-process
+// kumquatd on a loopback listener, measures each benchmark spec's
+// cold-vs-warm request latency, drives warm-request throughput at 1 and
+// N concurrent clients, and verifies a streamed execute against the
+// in-process library. workers <= 0 selects GOMAXPROCS for the engine.
+func Compare(workers int) (*ServeComparison, error) {
+	srv := server.New(server.Config{
+		SynthOptions: kumquat.Options{Seed: 1, Workers: workers},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: listen: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed by Shutdown below
+	defer hs.Shutdown(context.Background())
+
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+	ver, err := c.Version(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench: version: %w", err)
+	}
+	cmp := &ServeComparison{
+		Workers:     ver.DefaultSynthWorkers,
+		CPUs:        ver.NumCPU,
+		MaxInFlight: ver.MaxInFlight,
+		QueueDepth:  ver.QueueDepth,
+		Agree:       true,
+	}
+	if workers > 0 {
+		cmp.Workers = workers
+	}
+
+	// Cold vs warm per spec: the first request synthesizes, the rest
+	// must be served from the engine's memory tier.
+	for _, spec := range benchSpecs {
+		start := time.Now()
+		cold, err := c.Synthesize(ctx, spec)
+		coldWall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cold %q: %w", spec, err)
+		}
+		if cold.Cached {
+			return nil, fmt.Errorf("bench: cold %q was already cached (tier %s)", spec, cold.CacheTier)
+		}
+		warm := time.Duration(1<<62 - 1)
+		tier := ""
+		for i := 0; i < serveWarmIters; i++ {
+			start = time.Now()
+			resp, err := c.Synthesize(ctx, spec)
+			if d := time.Since(start); d < warm {
+				warm = d
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: warm %q: %w", spec, err)
+			}
+			tier = resp.CacheTier
+			if resp.Combiner != cold.Combiner {
+				cmp.Agree = false
+			}
+		}
+		sl := ServeSpecLatency{
+			Spec:        spec,
+			Space:       cold.Space.Total,
+			ColdMS:      ms(coldWall),
+			WarmMS:      ms(warm),
+			WarmSpeedup: speedup(coldWall, warm),
+			WarmTier:    tier,
+		}
+		if tier != "memory" || sl.WarmSpeedup < 10 {
+			cmp.Agree = false
+		}
+		cmp.Specs = append(cmp.Specs, sl)
+	}
+
+	// Warm-request throughput at increasing client counts. Requests
+	// rotate over the (now warm) spec set, so the measured cost is the
+	// service plane itself: HTTP, admission, lookup.
+	for _, clients := range []int{1, 4, 16} {
+		// Round to a whole number of requests per client so every
+		// configuration measures exactly what it reports.
+		requests := serveThroughputRequests / clients * clients
+		wall, err := serveStorm(c, clients, requests)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d clients: %w", clients, err)
+		}
+		cmp.Throughput = append(cmp.Throughput, ServeThroughput{
+			Clients:  clients,
+			Requests: requests,
+			WallMS:   ms(wall),
+			RPS:      float64(requests) / wall.Seconds(),
+		})
+	}
+
+	// Streamed execute vs the in-process library.
+	agree, err := serveExecuteAgree(c)
+	if err != nil {
+		return nil, err
+	}
+	cmp.ExecuteAgree = agree
+	if !agree {
+		cmp.Agree = false
+	}
+	return cmp, nil
+}
+
+// serveStorm fires requests warm synthesize calls spread over clients
+// concurrent workers and returns the wall time.
+func serveStorm(c *client.Client, clients, requests int) (time.Duration, error) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	per := requests / clients
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				spec := benchSpecs[(g+i)%len(benchSpecs)]
+				if _, err := c.Synthesize(ctx, spec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return wall, nil
+}
+
+// serveExecuteAgree streams a word-frequency run through the daemon and
+// compares it to the same pipeline executed in-process.
+func serveExecuteAgree(c *client.Client) (bool, error) {
+	input := genWordInput(200)
+	script := "sort | uniq -c | sort -rn"
+
+	var viaServer strings.Builder
+	if _, err := c.Execute(context.Background(), script,
+		client.ExecuteOptions{K: 4}, strings.NewReader(input), &viaServer); err != nil {
+		return false, fmt.Errorf("bench: execute via server: %w", err)
+	}
+
+	sys := kumquat.New(kumquat.NewEnv())
+	plan, err := sys.Parallelize(script + "\n")
+	if err != nil {
+		return false, fmt.Errorf("bench: local parallelize: %w", err)
+	}
+	rep, err := plan.Execute(context.Background(),
+		kumquat.WithParallelism(4), kumquat.WithStdin(strings.NewReader(input)))
+	if err != nil {
+		return false, fmt.Errorf("bench: local execute: %w", err)
+	}
+	return viaServer.String() == rep.Output, nil
+}
+
+// genWordInput deterministically generates n lines drawn from a small
+// vocabulary, so uniq -c has real duplicate runs to count.
+func genWordInput(n int) string {
+	words := []string{"pear", "apple", "quince", "medlar", "fig", "loquat"}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(words[(i*7+i/3)%len(words)])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ms converts a duration to milliseconds with microsecond precision.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// speedup is the a/b wall-time ratio (0 when b is zero).
+func speedup(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

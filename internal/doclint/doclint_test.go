@@ -16,6 +16,8 @@ var lintedPackages = []string{
 	"../synth",
 	"../synth/cache",
 	"../dsl",
+	"../server",
+	"../server/client",
 }
 
 // TestDocComments fails for every exported top-level identifier — type,

@@ -128,9 +128,15 @@ func expandVars(s string, vars map[string]string) string {
 }
 
 // parsePipelineLine splits a line on unquoted '|' and extracts the input
-// source from a leading "cat FILE" or a "< FILE" redirect.
+// source from a leading "cat FILE" or a "< FILE" redirect. The script
+// grammar is served to untrusted clients by kumquatd, so malformed lines
+// — empty segments, unterminated quotes, redirects without a target —
+// are hard errors rather than silently dropped syntax.
 func parsePipelineLine(line string, vars map[string]string) (*Pipeline, error) {
-	segments := splitPipes(line)
+	segments, err := splitPipes(line)
+	if err != nil {
+		return nil, err
+	}
 	p := &Pipeline{}
 	for i, seg := range segments {
 		seg = strings.TrimSpace(expandVars(seg, vars))
@@ -141,6 +147,9 @@ func parsePipelineLine(line string, vars map[string]string) (*Pipeline, error) {
 		if i == 0 {
 			if j := strings.LastIndexByte(seg, '<'); j >= 0 && !strings.ContainsAny(seg[j:], "'\"") {
 				p.InputFile = strings.TrimSpace(seg[j+1:])
+				if p.InputFile == "" {
+					return nil, fmt.Errorf("input redirect without target")
+				}
 				seg = strings.TrimSpace(seg[:j])
 			}
 		}
@@ -156,6 +165,9 @@ func parsePipelineLine(line string, vars map[string]string) (*Pipeline, error) {
 		if i == len(segments)-1 {
 			if j := strings.LastIndexByte(seg, '>'); j >= 0 && !strings.ContainsAny(seg[j:], "'\"") {
 				p.OutputFile = strings.TrimSpace(seg[j+1:])
+				if p.OutputFile == "" {
+					return nil, fmt.Errorf("output redirect without target")
+				}
 				seg = strings.TrimSpace(seg[:j])
 			}
 		}
@@ -170,8 +182,9 @@ func parsePipelineLine(line string, vars map[string]string) (*Pipeline, error) {
 	return p, nil
 }
 
-// splitPipes splits on '|' outside quotes.
-func splitPipes(line string) []string {
+// splitPipes splits on '|' outside quotes; a quote left open at end of
+// line is an error (the segment boundary would be ambiguous).
+func splitPipes(line string) ([]string, error) {
 	var segs []string
 	depth := byte(0)
 	start := 0
@@ -191,5 +204,8 @@ func splitPipes(line string) []string {
 			start = i + 1
 		}
 	}
-	return append(segs, line[start:])
+	if depth != 0 {
+		return nil, fmt.Errorf("unterminated %c quote", depth)
+	}
+	return append(segs, line[start:]), nil
 }

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseScriptUntrustedInput pins the parser's error paths for the
+// malformed scripts kumquatd receives from untrusted clients: each case
+// must produce a diagnostic, never a silently-mangled pipeline.
+func TestParseScriptUntrustedInput(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty segment middle", "cat x | | wc -l\n", "empty pipeline segment"},
+		{"empty segment leading", "| sort\n", "empty pipeline segment"},
+		{"empty segment trailing", "sort |\n", "empty pipeline segment"},
+		{"unterminated single quote", "grep 'abc | wc -l\n", "unterminated ' quote"},
+		{"unterminated double quote", `awk "{print | sort` + "\n", `unterminated " quote`},
+		{"output redirect without target", "cat x | sort >\n", "output redirect without target"},
+		{"input redirect without target", "sort -n <\n", "input redirect without target"},
+		{"no pipelines", "# only a comment\nVAR=1\n", "no pipelines"},
+		{"stages all empty", "cat x >\n", "redirect without target"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseScript(tc.src, nil)
+			if err == nil {
+				t.Fatalf("ParseScript(%q) = %+v, want error containing %q", tc.src, s, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseScript(%q) error = %q, want it to contain %q", tc.src, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseScriptQuotedMetaNotRedirect guards the other side of the
+// hardening: quoted '>' / '<' and '|' stay command text, not syntax.
+func TestParseScriptQuotedMetaNotRedirect(t *testing.T) {
+	s, err := ParseScript(`cat x | awk '\$1 > 2 {print}' | grep 'a|b'`+"\n", nil)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	p := s.Pipelines[0]
+	if p.OutputFile != "" {
+		t.Errorf("quoted > treated as redirect: OutputFile = %q", p.OutputFile)
+	}
+	want := []string{`awk '\$1 > 2 {print}'`, `grep 'a|b'`}
+	if len(p.Stages) != len(want) || p.Stages[0] != want[0] || p.Stages[1] != want[1] {
+		t.Errorf("stages = %q, want %q", p.Stages, want)
+	}
+}

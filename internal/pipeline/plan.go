@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"kumquat/internal/synth"
+	"kumquat/internal/synth/cache"
 	"kumquat/internal/textio"
 	"kumquat/internal/unix"
 )
@@ -34,6 +35,10 @@ type StagePlan struct {
 type Plan struct {
 	InputFile string
 	Stages    []*StagePlan
+	// SynthStats is the combiner-cache activity of this compilation,
+	// attributed per stage-synthesis call (exact under concurrent use of
+	// the shared engine, unlike a windowed Stats delta).
+	SynthStats cache.Stats
 }
 
 // Compile synthesizes a combiner for every stage and applies the paper's
@@ -56,7 +61,8 @@ func CompileContext(ctx context.Context, p *Pipeline, eng *synth.Engine) (*Plan,
 			return nil, fmt.Errorf("pipeline: stage %q: %w", spec, err)
 		}
 		sp := &StagePlan{Spec: spec, Cmd: cmd}
-		res, _ := eng.Synthesize(ctx, spec)
+		res, tier, _ := eng.SynthesizeTier(ctx, spec)
+		plan.SynthStats = plan.SynthStats.Add(tier.Count())
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBusy is returned by admission.acquire when the server is saturated:
+// MaxInFlight requests are running and QueueDepth more are already
+// waiting. Handlers translate it to 429 Too Many Requests.
+var ErrBusy = errors.New("server: at capacity")
+
+// admission is the bounded admission controller gating every /v1 work
+// endpoint: at most maxInFlight requests hold an execution slot, at most
+// queueDepth more wait for one, and everything beyond that is rejected
+// immediately — load sheds at the door instead of queueing unboundedly.
+type admission struct {
+	slots chan struct{} // buffered; a held token = one in-flight request
+	// pending counts requests admitted or waiting; the gate against
+	// unbounded queueing.
+	pending atomic.Int64
+	limit   int64 // maxInFlight + queueDepth
+}
+
+// newAdmission builds a controller for maxInFlight concurrent requests
+// and a waiting queue of queueDepth.
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		limit: int64(maxInFlight + queueDepth),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns ErrBusy when the queue is full, ctx.Err()
+// when the client gives up while queued, and otherwise a release
+// function the caller must invoke exactly once when the work finishes.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.pending.Add(1) > a.limit {
+		a.pending.Add(-1)
+		return nil, ErrBusy
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() {
+			<-a.slots
+			a.pending.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		a.pending.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// inFlight reports how many requests currently hold a slot.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued reports how many admitted requests are waiting for a slot.
+func (a *admission) queued() int {
+	n := int(a.pending.Load()) - len(a.slots)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

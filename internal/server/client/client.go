@@ -1,0 +1,225 @@
+// Package client is the typed Go client for kumquatd's HTTP API. It
+// shares the server's wire types, streams execute input/output, and
+// decodes the RunReport trailer, so callers get the same surface the
+// in-process library offers — over a socket.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"kumquat/internal/server"
+)
+
+// ErrBusy is returned when the server sheds load (HTTP 429): the caller
+// should back off and retry.
+var ErrBusy = errors.New("client: server at capacity")
+
+// Client talks to one kumquatd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:9917").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Synthesize asks the server for one command's combiner verdict.
+func (c *Client) Synthesize(ctx context.Context, spec string) (*server.SynthesizeResponse, error) {
+	var resp server.SynthesizeResponse
+	if err := c.postJSON(ctx, "/v1/synthesize", server.SynthesizeRequest{Spec: spec}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Parallelize asks the server to plan a script (with optional input
+// files registered into the request's private environment).
+func (c *Client) Parallelize(ctx context.Context, script string, files map[string]string) (*server.ParallelizeResponse, error) {
+	var resp server.ParallelizeResponse
+	req := server.ParallelizeRequest{Script: script, Files: files}
+	if err := c.postJSON(ctx, "/v1/parallelize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ExecuteOptions tunes one Execute call; the zero value uses the
+// server's defaults.
+type ExecuteOptions struct {
+	// Mode is the execution configuration name ("optimized",
+	// "unoptimized", "serial", "pipelined"); "" = server default.
+	Mode string
+	// K is the data-parallelism degree; 0 = server default.
+	K int
+	// CombineWorkers bounds the combine plane; 0 = server default.
+	CombineWorkers int
+}
+
+// Execute runs a script on the server: stdin streams up as the request
+// body (the server binds it to the script's input source), the output
+// stream is copied to out as it arrives, and the run report decoded
+// from the response trailer is returned. A nil stdin sends no input.
+func (c *Client) Execute(ctx context.Context, script string, opts ExecuteOptions, stdin io.Reader, out io.Writer) (*server.ExecuteReport, error) {
+	q := url.Values{"script": {script}}
+	if opts.Mode != "" {
+		q.Set("mode", opts.Mode)
+	}
+	if opts.K > 0 {
+		q.Set("k", strconv.Itoa(opts.K))
+	}
+	if opts.CombineWorkers > 0 {
+		q.Set("combine-workers", strconv.Itoa(opts.CombineWorkers))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/execute?"+q.Encode(), stdin)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return nil, fmt.Errorf("client: streaming output: %w", err)
+	}
+	// Trailers are populated only after the body has been fully read.
+	if msg := resp.Trailer.Get(server.ErrorTrailer); msg != "" {
+		return nil, fmt.Errorf("client: execute failed: %s", msg)
+	}
+	raw := resp.Trailer.Get(server.ReportTrailer)
+	if raw == "" {
+		return nil, errors.New("client: response carried no run report trailer")
+	}
+	var report server.ExecuteReport
+	if err := json.Unmarshal([]byte(raw), &report); err != nil {
+		return nil, fmt.Errorf("client: decoding run report: %w", err)
+	}
+	return &report, nil
+}
+
+// Version fetches the server's build info and service limits.
+func (c *Client) Version(ctx context.Context) (*server.VersionResponse, error) {
+	var resp server.VersionResponse
+	if err := c.getJSON(ctx, "/v1/version", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: metrics: %s", resp.Status)
+	}
+	return string(data), nil
+}
+
+// postJSON posts a JSON body and decodes a JSON reply.
+func (c *Client) postJSON(ctx context.Context, path string, body, into any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, into)
+}
+
+// getJSON fetches a JSON reply.
+func (c *Client) getJSON(ctx context.Context, path string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, into)
+}
+
+// do executes a request and decodes the JSON response or error body.
+func (c *Client) do(req *http.Request, into any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// decodeError converts a non-200 response to a Go error, mapping 429 to
+// ErrBusy.
+func decodeError(resp *http.Response) error {
+	var e server.ErrorResponse
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return fmt.Errorf("%w: %s", ErrBusy, msg)
+	}
+	return fmt.Errorf("client: %s: %s", resp.Request.URL.Path, msg)
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"kumquat"
+)
+
+// handleSynthesize serves POST /v1/synthesize: one command spec in, the
+// synthesis verdict out, with an exact cache-tier attribution.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req SynthesizeRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Spec) == "" {
+		writeError(w, http.StatusBadRequest, "spec is required")
+		return
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	res, tier, err := s.sys.SynthesizeTier(r.Context(), req.Spec)
+	if res == nil {
+		// The spec never parsed as a command — a caller error, not a
+		// synthesis verdict.
+		writeError(w, http.StatusBadRequest, "cannot parse command: %v", err)
+		return
+	}
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		// Client gone or deadline passed mid-synthesis; the best-so-far
+		// result is not a verdict, so don't report it as one.
+		writeError(w, http.StatusServiceUnavailable, "synthesis cancelled: %v", ctxErr)
+		return
+	}
+	resp := SynthesizeResponse{
+		Spec: res.Spec,
+		Space: SpaceBreakdown{
+			Total: res.Space.Total(), Rec: res.Space.Rec,
+			Struct: res.Space.Struct, Run: res.Space.Run,
+		},
+		Rounds:          res.Rounds,
+		Observations:    res.Observations,
+		Cached:          tier.Cached(),
+		CacheTier:       tier.String(),
+		SynthDurationMS: ms(res.Duration),
+		DurationMS:      ms(time.Since(start)),
+		Cache:           s.sys.SynthCacheStats(),
+	}
+	if err != nil {
+		resp.Unsupported = err.Error()
+	} else {
+		resp.Combiner = res.Combiner.String()
+		resp.Plausible = res.DisplayPlausible()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleParallelize serves POST /v1/parallelize: a script (plus optional
+// input files) in, the plan summary out. Planning happens in a private
+// environment; combiners come from the shared warm engine.
+func (s *Server) handleParallelize(w http.ResponseWriter, r *http.Request) {
+	var req ParallelizeRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Script) == "" {
+		writeError(w, http.StatusBadRequest, "script is required")
+		return
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	env := kumquat.NewEnv()
+	for name, content := range req.Files {
+		env.Register(name, content)
+	}
+	start := time.Now()
+	plan, err := s.sys.ParallelizeInEnv(r.Context(), env, ensureTrailingNewline(req.Script))
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "cannot parallelize: %v", err)
+		return
+	}
+	par, total, elim := plan.Counts()
+	resp := ParallelizeResponse{
+		Parallelized: par,
+		Total:        total,
+		Eliminated:   elim,
+		SynthCache:   plan.SynthCache(),
+		DurationMS:   ms(time.Since(start)),
+	}
+	for _, st := range plan.Stages() {
+		resp.Stages = append(resp.Stages, StageVerdict{
+			Spec:       st.Spec,
+			Combiner:   st.Combiner,
+			Parallel:   st.Parallel,
+			Sequential: st.Sequential,
+			Eliminated: st.Eliminated,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExecute serves POST /v1/execute: the script comes in query
+// parameters (script, k, mode, combine-workers), the request body
+// streams in as the pipeline's input, stdout streams back as the
+// response body, and the RunReport arrives as the X-Kumquat-Report
+// trailer once the stream ends. The request body binds to the script's
+// input source: standard input for stdin-reading pipelines, or the
+// first pipeline's `cat FILE` / `< FILE` source otherwise.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	script := q.Get("script")
+	if strings.TrimSpace(script) == "" {
+		writeError(w, http.StatusBadRequest, "script query parameter is required")
+		return
+	}
+	mode := kumquat.Optimized
+	if name := q.Get("mode"); name != "" {
+		var err error
+		if mode, err = kumquat.ParseMode(name); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	k := s.cfg.DefaultParallelism
+	if ks := q.Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	combineWorkers := 0
+	if cs := q.Get("combine-workers"); cs != "" {
+		n, err := strconv.Atoi(cs)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "combine-workers must be a non-negative integer")
+			return
+		}
+		combineWorkers = n
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	body := io.Reader(r.Body)
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+
+	env := kumquat.NewEnv()
+	plan, err := s.sys.ParallelizeInEnv(r.Context(), env, ensureTrailingNewline(script))
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "cannot parallelize: %v", err)
+		return
+	}
+
+	// Bind the request body to the script's input: a stdin-reading first
+	// pipeline consumes it as a stream; a `cat FILE` / `< FILE` source
+	// gets the body materialized under that name. The binding is
+	// unconditional — the environment's synthetic corpus must never
+	// shadow a client's streamed data behind a colliding file name.
+	var stdin io.Reader = body
+	if inputs := plan.Inputs(); len(inputs) > 0 && inputs[0] != "" {
+		data, rerr := io.ReadAll(body)
+		if rerr != nil {
+			writeError(w, http.StatusBadRequest, "reading request body for input %q: %v", inputs[0], rerr)
+			return
+		}
+		env.Register(inputs[0], string(data))
+		stdin = nil
+	}
+
+	// Declare trailers before the body commits, then stream.
+	w.Header().Set("Trailer", ReportTrailer+", "+ErrorTrailer)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	fw := &flushWriter{w: w}
+	rep, err := plan.Execute(r.Context(),
+		kumquat.WithParallelism(k),
+		kumquat.WithMode(mode),
+		kumquat.WithCombineWorkers(combineWorkers),
+		kumquat.WithStdin(stdin),
+		kumquat.WithOutput(fw))
+	if err != nil {
+		// The stream may already be half-written; the error must travel
+		// as a trailer. (Before the first byte this still downgrades the
+		// response to an empty 200 + error trailer — the price of
+		// streaming.)
+		w.Header().Set(ErrorTrailer, err.Error())
+		return
+	}
+	report, merr := json.Marshal(executeReport(rep))
+	if merr != nil {
+		w.Header().Set(ErrorTrailer, merr.Error())
+		return
+	}
+	w.Header().Set(ReportTrailer, string(report))
+}
+
+// executeReport converts a RunReport to its wire form.
+func executeReport(rep *kumquat.RunReport) ExecuteReport {
+	out := ExecuteReport{
+		Mode:        rep.Mode.String(),
+		Parallelism: rep.Parallelism,
+		WallMS:      ms(rep.Wall),
+		BytesIn:     rep.BytesIn,
+		BytesOut:    rep.BytesOut,
+		SynthCache:  rep.SynthCache,
+	}
+	for _, st := range rep.Stages {
+		out.Stages = append(out.Stages, ExecuteStage{
+			Spec:          st.Spec,
+			Parallel:      st.Parallel,
+			Eliminated:    st.Eliminated,
+			Streamed:      st.Streamed,
+			Chunks:        st.Chunks,
+			WallMS:        ms(st.Wall),
+			CombineWallMS: ms(st.CombineWall),
+			BytesIn:       st.BytesIn,
+			BytesOut:      st.BytesOut,
+		})
+	}
+	return out
+}
+
+// flushWriter flushes after every write so execute output streams to the
+// client incrementally instead of sitting in the server's buffer.
+type flushWriter struct {
+	w http.ResponseWriter
+}
+
+// Write forwards to the response and flushes.
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+// decodeJSON decodes a JSON request body into v, bounded by the
+// server's body limit.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := io.Reader(r.Body)
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// ensureTrailingNewline appends the newline the script grammar requires
+// of its final pipeline line.
+func ensureTrailingNewline(script string) string {
+	if strings.HasSuffix(script, "\n") {
+		return script
+	}
+	return script + "\n"
+}

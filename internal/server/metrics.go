@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the request-latency histogram bounds in seconds,
+// spanning warm cache lookups (~100 µs over loopback) to cold synthesis
+// of the 110k-candidate space plus execution (seconds).
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram; counts[i] holds the
+// observations that fell in bucket i (cumulative Prometheus-style sums
+// are computed at write time). The last slot is the +Inf bucket.
+type histogram struct {
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// metrics is the server's metrics registry: request counts by endpoint
+// and status code, latency histograms by endpoint, and gauges sampled at
+// render time (admission occupancy, cache counters). All methods are
+// safe for concurrent use; rendering holds the same lock the recorders
+// take, so a scrape sees a consistent snapshot.
+type metrics struct {
+	mu     sync.Mutex
+	counts map[countKey]int64    // endpoint+code → requests
+	hists  map[string]*histogram // endpoint → latencies
+}
+
+// countKey labels one requests_total series.
+type countKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		counts: map[countKey]int64{},
+		hists:  map[string]*histogram{},
+	}
+}
+
+// record logs one finished request.
+func (m *metrics) record(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts[countKey{endpoint, code}]++
+	h := m.hists[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.hists[endpoint] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// gauge is a point-in-time value rendered into the exposition.
+type gauge struct {
+	name, help string
+	value      float64
+}
+
+// write renders the registry in the Prometheus text exposition format,
+// appending the given gauges (sampled by the caller at scrape time).
+func (m *metrics) write(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP kumquatd_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE kumquatd_requests_total counter")
+	keys := make([]countKey, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "kumquatd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.counts[k])
+	}
+
+	fmt.Fprintln(w, "# HELP kumquatd_request_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE kumquatd_request_seconds histogram")
+	eps := make([]string, 0, len(m.hists))
+	for ep := range m.hists {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		h := m.hists[ep]
+		var cum int64
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "kumquatd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, bound, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "kumquatd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "kumquatd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "kumquatd_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
+	}
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsExposition pins the Prometheus text rendering: counter
+// labels, cumulative histogram buckets, sums and appended gauges.
+func TestMetricsExposition(t *testing.T) {
+	m := newMetrics()
+	m.record("synthesize", 200, 150*time.Microsecond) // ≤ 0.00025 bucket
+	m.record("synthesize", 200, 30*time.Millisecond)  // ≤ 0.05 bucket
+	m.record("synthesize", 400, 50*time.Microsecond)
+	m.record("execute", 200, 2*time.Second)
+
+	var b strings.Builder
+	m.write(&b, []gauge{{"kumquatd_in_flight", "In-flight requests.", 3}})
+	out := b.String()
+
+	for _, want := range []string{
+		`kumquatd_requests_total{endpoint="execute",code="200"} 1`,
+		`kumquatd_requests_total{endpoint="synthesize",code="200"} 2`,
+		`kumquatd_requests_total{endpoint="synthesize",code="400"} 1`,
+		// 150 µs and 50 µs land at or below the 0.00025 bound; the 30 ms
+		// observation joins at 0.05; +Inf sees all three.
+		`kumquatd_request_seconds_bucket{endpoint="synthesize",le="0.00025"} 2`,
+		`kumquatd_request_seconds_bucket{endpoint="synthesize",le="0.05"} 3`,
+		`kumquatd_request_seconds_bucket{endpoint="synthesize",le="+Inf"} 3`,
+		`kumquatd_request_seconds_count{endpoint="synthesize"} 3`,
+		`kumquatd_request_seconds_bucket{endpoint="execute",le="2.5"} 1`,
+		`kumquatd_request_seconds_count{endpoint="execute"} 1`,
+		"# TYPE kumquatd_requests_total counter",
+		"# TYPE kumquatd_request_seconds histogram",
+		"# TYPE kumquatd_in_flight gauge",
+		"kumquatd_in_flight 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBucketEdges checks boundary placement: observations equal
+// to a bound land in that bound's bucket (le is inclusive).
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.0001) // exactly the first bound
+	if h.counts[0] != 1 {
+		t.Errorf("observation at first bound landed in counts[%v], want counts[0]", h.counts)
+	}
+	h.observe(1e9) // beyond every bound → +Inf
+	if h.counts[len(h.counts)-1] != 1 {
+		t.Errorf("huge observation missed the +Inf bucket: %v", h.counts)
+	}
+	if h.total != 2 {
+		t.Errorf("total = %d, want 2", h.total)
+	}
+}

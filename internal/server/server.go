@@ -1,0 +1,208 @@
+// Package server implements kumquatd's service plane: an HTTP/JSON API
+// over one shared kumquat.System, so the synthesis engine's spec memo,
+// LRU and on-disk combiner cache stay warm across requests and users.
+//
+// Endpoints:
+//
+//	POST /v1/synthesize   command spec → combiner verdict (+ cache tier)
+//	POST /v1/parallelize  script → plan summary (per-stage verdicts)
+//	POST /v1/execute      script; request body streams in as stdin,
+//	                      stdout streams out, RunReport arrives as the
+//	                      X-Kumquat-Report trailer
+//	GET  /v1/version      build info + service limits
+//	GET  /healthz         liveness
+//	GET  /metrics         Prometheus text exposition
+//
+// The server owns the production concerns the library leaves to its
+// caller: bounded admission (at most MaxInFlight requests do work, at
+// most QueueDepth wait, the rest get 429), per-request contexts wired
+// into SynthesizeTier/ParallelizeInEnv/Execute so deadlines and client
+// disconnects cancel work mid-round, and the /metrics surface.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"kumquat"
+)
+
+// Config tunes a Server. The zero value serves with defaults.
+type Config struct {
+	// SynthOptions configures the shared synthesis engine (seed defaults
+	// to 1, matching the CLIs; CacheDir enables the on-disk tier).
+	SynthOptions kumquat.Options
+	// Env is the base environment synthesize requests and the engine's
+	// observation runs use (nil = default corpus). Parallelize and
+	// execute requests get a private per-request environment.
+	Env *kumquat.Env
+	// MaxInFlight caps concurrently-served work requests
+	// (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth caps requests waiting for a slot (default 64); beyond
+	// it the server answers 429 immediately.
+	QueueDepth int
+	// DefaultParallelism is the execute endpoint's k when the request
+	// does not set one (default GOMAXPROCS).
+	DefaultParallelism int
+	// MaxBodyBytes bounds request bodies (default 256 MiB; negative =
+	// unlimited). Execute inputs stream, but scripts that bind the body
+	// to a `cat FILE` source materialize it.
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.SynthOptions.Seed == 0 {
+		c.SynthOptions.Seed = 1
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultParallelism == 0 {
+		c.DefaultParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the service plane over one shared kumquat.System.
+type Server struct {
+	cfg Config
+	sys *kumquat.System
+	adm *admission
+	met *metrics
+}
+
+// New builds a Server; its System (and therefore the warm synthesis
+// caches) lives as long as the server does.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	env := cfg.Env
+	if env == nil {
+		env = kumquat.NewEnv()
+	}
+	return &Server{
+		cfg: cfg,
+		sys: kumquat.NewWithOptions(env, cfg.SynthOptions),
+		adm: newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		met: newMetrics(),
+	}
+}
+
+// System exposes the shared system, e.g. for pre-warming caches before
+// serving.
+func (s *Server) System() *kumquat.System { return s.sys }
+
+// Handler returns the server's routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.instrument("synthesize", s.handleSynthesize))
+	mux.HandleFunc("POST /v1/parallelize", s.instrument("parallelize", s.handleParallelize))
+	mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
+	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics) // not self-instrumented
+	return mux
+}
+
+// instrument wraps a handler with request metrics (count by status code,
+// latency histogram).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.record(endpoint, rec.code, time.Since(start))
+	}
+}
+
+// statusRecorder captures the response status for metrics while passing
+// Flush through so execute responses still stream.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status code.
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// admit claims an admission slot for one work request, translating
+// saturation to 429 (with Retry-After) and a client that gave up while
+// queued to a no-op. The returned release is nil when admission failed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	release, err := s.adm.acquire(r.Context())
+	if err == ErrBusy {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at capacity: %d in flight, %d queued", s.adm.inFlight(), s.adm.queued())
+		return nil
+	}
+	if err != nil { // client disconnected or deadline passed while queued
+		return nil
+	}
+	return release
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVersion reports build info and service limits.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		BuildInfo:   kumquat.Info(),
+		MaxInFlight: s.cfg.MaxInFlight,
+		QueueDepth:  s.cfg.QueueDepth,
+	})
+}
+
+// handleMetrics renders the Prometheus exposition, sampling the
+// admission and cache gauges at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.SynthCacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, []gauge{
+		{"kumquatd_in_flight", "Requests currently holding an execution slot.", float64(s.adm.inFlight())},
+		{"kumquatd_queued", "Requests waiting for an execution slot.", float64(s.adm.queued())},
+		{"kumquatd_synth_cache_hits", "Cumulative synthesis memory-cache hits.", float64(st.Hits)},
+		{"kumquatd_synth_cache_disk_hits", "Cumulative synthesis disk-cache hits.", float64(st.DiskHits)},
+		{"kumquatd_synth_cache_misses", "Cumulative full synthesis runs.", float64(st.Misses)},
+	})
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client disconnects surface elsewhere
+}
+
+// writeError writes the standard JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ms converts a duration to milliseconds with microsecond resolution.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -103,6 +103,37 @@ type Entry struct {
 	DurationNS int64 `json:"duration_ns"`
 }
 
+// Tier identifies which cache layer served one synthesis call. Unlike a
+// Stats delta — which is only exact when no other call overlaps the
+// window — a Tier is attributed to its call at the lookup site, so it
+// stays exact under arbitrary concurrency (the property the server's
+// per-request "cached" verdict relies on).
+type Tier int
+
+const (
+	// TierMiss means nothing was cached: a full synthesis ran.
+	TierMiss Tier = iota
+	// TierMemory means the spec memo or the in-memory LRU served the call.
+	TierMemory
+	// TierDisk means the on-disk store served the call.
+	TierDisk
+)
+
+// Cached reports whether the tier is a cache hit of any kind.
+func (t Tier) Cached() bool { return t == TierMemory || t == TierDisk }
+
+// String names the tier for wire formats: "miss", "memory" or "disk".
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // Stats is a point-in-time snapshot of cache activity.
 type Stats struct {
 	// Hits counts syntheses resolved from memory (spec memo or LRU).
@@ -123,6 +154,28 @@ func (s Stats) Sub(prev Stats) Stats {
 		Hits:     s.Hits - prev.Hits,
 		DiskHits: s.DiskHits - prev.DiskHits,
 		Misses:   s.Misses - prev.Misses,
+	}
+}
+
+// Add returns the element-wise sum s + other, for aggregating per-call
+// attributions into a per-request total.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		Hits:     s.Hits + other.Hits,
+		DiskHits: s.DiskHits + other.DiskHits,
+		Misses:   s.Misses + other.Misses,
+	}
+}
+
+// Count returns a Stats recording one call served by the given tier.
+func (t Tier) Count() Stats {
+	switch t {
+	case TierMemory:
+		return Stats{Hits: 1}
+	case TierDisk:
+		return Stats{DiskHits: 1}
+	default:
+		return Stats{Misses: 1}
 	}
 }
 

@@ -24,7 +24,9 @@ import (
 // and cached under a canonical command signature (normalized argv +
 // delimiter set + options) in an in-memory LRU and, optionally, an
 // on-disk store, so repeated stages and repeated invocations resolve
-// without re-running synthesis.
+// without re-running synthesis. Concurrent requests for the same
+// uncached spec are single-flighted: one synthesis runs, the rest wait
+// and share its verdict.
 //
 // An Engine is safe for concurrent use.
 type Engine struct {
@@ -36,10 +38,21 @@ type Engine struct {
 	workers  int
 	counters cache.Counters
 
-	mu   sync.Mutex
-	memo map[string]*Result // exact spec text → result (legacy cache tier)
-	lru  *cache.LRU         // canonical signature → *Result
-	disk *cache.Store       // nil unless Opts.CacheDir is set
+	mu       sync.Mutex
+	memo     map[string]*Result // exact spec text → result (legacy cache tier)
+	inflight map[string]*call   // spec → in-progress synthesis (single-flight)
+	lru      *cache.LRU         // canonical signature → *Result
+	disk     *cache.Store       // nil unless Opts.CacheDir is set
+}
+
+// call is one in-progress synthesis that concurrent callers of the same
+// spec coalesce onto: followers wait on done instead of re-running the
+// cold synthesis. ok is true when the leader memoized a verdict; false
+// (cancellation, parse failure) sends followers back to retry.
+type call struct {
+	done chan struct{}
+	r    *Result
+	ok   bool
 }
 
 // Synthesizer is the legacy name for Engine, kept so existing call sites
@@ -91,24 +104,72 @@ func Synthesize(ctx context.Context, spec string, opts Options) (*Result, error)
 // mid-round; the returned Result then carries the best-so-far survivor
 // set with Err set to ctx.Err(), and is not cached.
 func (e *Engine) Synthesize(ctx context.Context, spec string) (*Result, error) {
-	e.mu.Lock()
-	r, ok := e.memo[spec]
-	e.mu.Unlock()
-	if ok {
-		e.counters.Hit()
-		return r, r.Err
-	}
-	cmd, err := unix.Parse(spec, e.Env)
-	if err != nil {
-		return nil, err
-	}
-	r = e.SynthesizeCommand(ctx, cmd)
-	if ctx.Err() == nil {
+	r, _, err := e.SynthesizeTier(ctx, spec)
+	return r, err
+}
+
+// SynthesizeTier is Synthesize plus an exact attribution of which cache
+// tier served the call: cache.TierMemory (spec memo or LRU, including
+// waits coalesced onto another caller's in-flight synthesis),
+// cache.TierDisk (on-disk store) or cache.TierMiss (full synthesis ran).
+// The attribution is decided at the lookup site, so unlike a Stats delta
+// it stays exact when other calls run concurrently.
+//
+// Concurrent calls for the same uncached spec are single-flighted: one
+// leader runs the synthesis, the rest wait and share its verdict — under
+// a many-client daemon a cold spec costs one synthesis, not one per
+// request. A follower whose own ctx cancels while waiting returns a
+// best-effort Result carrying ctx.Err(); a leader whose ctx cancels
+// leaves nothing memoized, and its followers retry.
+func (e *Engine) SynthesizeTier(ctx context.Context, spec string) (*Result, cache.Tier, error) {
+	for {
 		e.mu.Lock()
-		e.memo[spec] = r
+		if r, ok := e.memo[spec]; ok {
+			e.mu.Unlock()
+			e.counters.Hit()
+			return r, cache.TierMemory, r.Err
+		}
+		if c, ok := e.inflight[spec]; ok {
+			e.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				e.counters.Miss()
+				r := &Result{Spec: spec, Err: ctx.Err()}
+				return r, cache.TierMiss, r.Err
+			}
+			if c.ok {
+				e.counters.Hit()
+				return c.r, cache.TierMemory, c.r.Err
+			}
+			continue // leader cancelled or failed to parse; try again
+		}
+		c := &call{done: make(chan struct{})}
+		if e.inflight == nil {
+			e.inflight = map[string]*call{}
+		}
+		e.inflight[spec] = c
 		e.mu.Unlock()
+
+		cmd, err := unix.Parse(spec, e.Env)
+		if err != nil {
+			e.mu.Lock()
+			delete(e.inflight, spec)
+			e.mu.Unlock()
+			close(c.done)
+			return nil, cache.TierMiss, err
+		}
+		r, tier := e.synthesizeCommand(ctx, cmd)
+		e.mu.Lock()
+		if ctx.Err() == nil {
+			e.memo[spec] = r
+			c.r, c.ok = r, true
+		}
+		delete(e.inflight, spec)
+		e.mu.Unlock()
+		close(c.done)
+		return r, tier, r.Err
 	}
-	return r, r.Err
 }
 
 // SynthesizeSpec is the legacy context-free form of Synthesize.
@@ -127,19 +188,27 @@ func (e *Engine) Workers() int { return e.workers }
 // already-parsed black-box command. Most callers want Synthesize, which
 // adds the spec-text memo tier.
 func (e *Engine) SynthesizeCommand(ctx context.Context, cmd unix.Command) *Result {
+	r, _ := e.synthesizeCommand(ctx, cmd)
+	return r
+}
+
+// synthesizeCommand is SynthesizeCommand with the serving cache tier:
+// TierMemory for an LRU hit, TierDisk for an on-disk hit, TierMiss when
+// synthesis (or an unsupported-command verdict) ran from scratch.
+func (e *Engine) synthesizeCommand(ctx context.Context, cmd unix.Command) (*Result, cache.Tier) {
 	start := time.Now()
 	res := &Result{Spec: cmd.Spec()}
 	if ns, ok := cmd.(interface{ NonStream() bool }); ok && ns.NonStream() {
 		res.Err = ErrNonStream
 		res.Duration = time.Since(start)
 		e.counters.Miss() // memoized repeats count as hits; keep stats consistent
-		return res
+		return res, cache.TierMiss
 	}
 	if mi, ok := cmd.(interface{ MultiInput() bool }); ok && mi.MultiInput() {
 		res.Err = ErrMultiInput
 		res.Duration = time.Since(start)
 		e.counters.Miss()
-		return res
+		return res, cache.TierMiss
 	}
 
 	// Deterministic per-command seed.
@@ -155,7 +224,7 @@ func (e *Engine) SynthesizeCommand(ctx context.Context, cmd unix.Command) *Resul
 	if e.lru != nil {
 		if v, ok := e.lru.Get(key); ok {
 			e.counters.Hit()
-			return v.(*Result)
+			return v.(*Result), cache.TierMemory
 		}
 	}
 	// Commands whose behaviour depends on the simulated file system —
@@ -173,7 +242,7 @@ func (e *Engine) SynthesizeCommand(ctx context.Context, cmd unix.Command) *Resul
 				if e.lru != nil {
 					e.lru.Put(key, r)
 				}
-				return r
+				return r, cache.TierDisk
 			}
 		}
 	}
@@ -188,7 +257,7 @@ func (e *Engine) SynthesizeCommand(ctx context.Context, cmd unix.Command) *Resul
 			e.disk.Put(key, e.entryFromResult(res, argv)) //nolint:errcheck // accelerator only
 		}
 	}
-	return res
+	return res, cache.TierMiss
 }
 
 // synthesize is Algorithm 1's round loop: generate effective inputs

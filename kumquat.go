@@ -66,6 +66,20 @@ type Result = synth.Result
 // disk hits, and misses (full synthesis runs).
 type SynthCacheStats = cache.Stats
 
+// CacheTier re-exports the engine's per-call cache-tier verdict
+// (TierMiss, TierMemory, TierDisk); see SynthesizeTier.
+type CacheTier = cache.Tier
+
+// The cache-tier values a SynthesizeTier call can report.
+const (
+	// TierMiss means a full synthesis ran.
+	TierMiss = cache.TierMiss
+	// TierMemory means the spec memo or in-memory LRU served the call.
+	TierMemory = cache.TierMemory
+	// TierDisk means the on-disk combiner store served the call.
+	TierDisk = cache.TierDisk
+)
+
 // System owns a shared synthesis engine with its combiner caches.
 type System struct {
 	env *Env
@@ -132,6 +146,15 @@ func (s *System) SynthesizeContext(ctx context.Context, spec string) (*Result, e
 	return s.syn.Synthesize(ctx, spec)
 }
 
+// SynthesizeTier is SynthesizeContext plus an exact attribution of the
+// cache tier that served the call (TierMemory, TierDisk or TierMiss).
+// The verdict is decided at the engine's lookup site, so it stays exact
+// when other Synthesize/Parallelize calls run concurrently — the
+// property kumquatd's per-request "cached" field relies on.
+func (s *System) SynthesizeTier(ctx context.Context, spec string) (*Result, CacheTier, error) {
+	return s.syn.SynthesizeTier(ctx, spec)
+}
+
 // SynthCacheStats reports the system's cumulative combiner-cache
 // activity across all Synthesize and Parallelize calls.
 func (s *System) SynthCacheStats() SynthCacheStats { return s.syn.Stats() }
@@ -142,10 +165,10 @@ type Plan struct {
 	plans []*pipeline.Plan
 	outs  []string // output redirect targets per pipeline ("" = stdout)
 	// synthStats is the combiner-cache activity attributable to this
-	// plan's compilation, surfaced in RunReport. It is a windowed delta
-	// of the engine's cumulative counters, so it is exact only when no
-	// other Synthesize/Parallelize call on the same System overlaps the
-	// compilation.
+	// plan's compilation, surfaced in RunReport. Each stage-synthesis
+	// call is attributed at the engine's lookup site, so the numbers are
+	// exact even when other Synthesize/Parallelize calls on the same
+	// System overlap the compilation.
 	synthStats SynthCacheStats
 }
 
@@ -162,12 +185,30 @@ func (s *System) Parallelize(script string) (*Plan, error) {
 // ParallelizeContext is Parallelize with cancellation: a cancelled ctx
 // aborts the in-flight stage synthesis mid-round.
 func (s *System) ParallelizeContext(ctx context.Context, script string) (*Plan, error) {
+	return s.ParallelizeInEnv(ctx, s.env, script)
+}
+
+// ParallelizeInEnv compiles a script against a caller-owned environment
+// while synthesizing through the system's shared engine, so its warm
+// combiner caches serve every compilation. This is the multi-user entry
+// point kumquatd uses: each request gets a private Env (its input files
+// and `> FILE` redirects stay isolated), yet repeated stages across
+// requests still resolve in O(lookup).
+//
+// Stage synthesis itself observes commands in the engine's own
+// environment, so commands that read registered files *during synthesis*
+// (xargs-style file-name probes) see the system env, not env. Execution
+// — input files, mid-pipeline reads, redirect writes — uses env alone.
+// A nil env compiles against a fresh default environment.
+func (s *System) ParallelizeInEnv(ctx context.Context, env *Env, script string) (*Plan, error) {
+	if env == nil {
+		env = NewEnv()
+	}
 	parsed, err := pipeline.ParseScript(script, nil)
 	if err != nil {
 		return nil, err
 	}
-	before := s.syn.Stats()
-	p := &Plan{env: s.env}
+	p := &Plan{env: env}
 	for _, pl := range parsed.Pipelines {
 		plan, err := pipeline.CompileContext(ctx, pl, s.syn)
 		if err != nil {
@@ -175,8 +216,8 @@ func (s *System) ParallelizeContext(ctx context.Context, script string) (*Plan, 
 		}
 		p.plans = append(p.plans, plan)
 		p.outs = append(p.outs, pl.OutputFile)
+		p.synthStats = p.synthStats.Add(plan.SynthStats)
 	}
-	p.synthStats = s.syn.Stats().Sub(before)
 	return p, nil
 }
 
@@ -190,6 +231,22 @@ func (p *Plan) Counts() (parallelized, total, eliminated int) {
 		eliminated += elim
 	}
 	return
+}
+
+// SynthCache reports the combiner-cache activity recorded while the plan
+// was compiled (the same figures RunReport.SynthCache carries).
+func (p *Plan) SynthCache() SynthCacheStats { return p.synthStats }
+
+// Inputs returns each pipeline's input source, in script order: the
+// `cat FILE` / `< FILE` file name, or "" for a pipeline that reads
+// standard input. kumquatd uses this to decide whether a streamed
+// request body binds to stdin or to the first pipeline's file source.
+func (p *Plan) Inputs() []string {
+	inputs := make([]string, len(p.plans))
+	for i, plan := range p.plans {
+		inputs[i] = plan.InputFile
+	}
+	return inputs
 }
 
 // Stages describes each stage's planning verdict, in order.
@@ -364,9 +421,9 @@ type RunReport struct {
 	Stages []StageReport
 	// SynthCache is the combiner-cache activity recorded while this
 	// plan was compiled: how many stage combiners were served from the
-	// cache (memory or disk) versus synthesized from scratch. The window
-	// is exact unless another Synthesize/Parallelize call on the same
-	// System overlapped the compilation.
+	// cache (memory or disk) versus synthesized from scratch. Each call
+	// is attributed at the engine's lookup site, so the counts stay
+	// exact under concurrent use of the same System.
 	SynthCache SynthCacheStats
 	// Output is the captured output stream when no WithOutput sink was
 	// given; empty otherwise.
