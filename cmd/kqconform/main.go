@@ -1,0 +1,87 @@
+// Command kqconform runs the conformance plane: it generates
+// random-but-valid pipelines and corpora from a seed, executes each under
+// every execution mode × worker count × combine-worker configuration,
+// diffs every result byte-for-byte against the serial oracle,
+// stress-validates the synthesized combiners on adversarial corpora, and
+// replays the generated suite through a live loopback kumquatd.
+//
+// Usage:
+//
+//	kqconform -n 100 -seed 1             # full suite, JSON report on stdout
+//	kqconform -n 25 -seed 1 -o CONFORM.json
+//	kqconform -n 50 -shrink=false        # skip failure minimization
+//	kqconform -serve=false -adversarial=false
+//
+// The exit status is 0 when every configuration reproduced the serial
+// oracle, 1 otherwise; diverging cases are shrunk (unless -shrink=false)
+// to a minimal reproducing corpus and stage list before reporting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"kumquat/internal/conformance"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of generated cases")
+	seed := flag.Int64("seed", 1, "generator seed (same seed + n = same suite)")
+	shrink := flag.Bool("shrink", true, "minimize diverging cases before reporting")
+	serve := flag.Bool("serve", true, "replay the suite through a loopback kumquatd")
+	adversarial := flag.Bool("adversarial", true, "stress-validate combiners on adversarial corpora")
+	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool (0 = GOMAXPROCS)")
+	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
+	flag.Parse()
+
+	rep, err := conformance.Run(context.Background(), conformance.Options{
+		Seed:         *seed,
+		N:            *n,
+		Shrink:       *shrink,
+		Serve:        *serve,
+		Adversarial:  *adversarial,
+		SynthWorkers: *synthWorkers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kqconform:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kqconform:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "kqconform:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	summary(rep)
+	if !rep.OK {
+		os.Exit(1)
+	}
+}
+
+// summary prints the one-line human verdict (stderr, so a piped stdout
+// stays pure JSON).
+func summary(rep *conformance.Report) {
+	adv, srv := "-", "-"
+	if rep.Adversarial != nil {
+		adv = fmt.Sprintf("%d checks, %d failures", rep.Adversarial.Checks, len(rep.Adversarial.Failures))
+	}
+	if rep.Serve != nil {
+		srv = fmt.Sprintf("%d cases, %d divergences", rep.Serve.Cases, len(rep.Serve.Divergences))
+	}
+	fmt.Fprintf(os.Stderr,
+		"kqconform: seed=%d cases=%d configs=%d executions=%d divergences=%d adversarial=[%s] serve=[%s] wall=%.0fms ok=%v\n",
+		rep.Seed, rep.Cases, rep.Configs, rep.Executions, len(rep.Divergences), adv, srv, rep.WallMS, rep.OK)
+}

@@ -1,0 +1,101 @@
+// Package examples_test smoke-tests the example programs: each must
+// build, run to completion, and print non-empty, deterministic output.
+// Wall-clock readings and speedup ratios are the only run-to-run
+// variance the examples are allowed — everything else (planning
+// verdicts, combiners, computed answers, correctness flags) must be
+// byte-identical across runs.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// examplePrograms lists every directory under examples/ with a main
+// package; TestExamplesComplete keeps it in sync with the tree.
+var examplePrograms = []string{"quickstart", "wordfreq", "unix50", "analytics"}
+
+// durationRE matches Go duration renderings, including composite forms
+// (77.574µs, 54ms, 1.2s, 1m2.3s, 1h2m3s).
+var durationRE = regexp.MustCompile(`(\d+(\.\d+)?(ns|µs|us|ms|s|m|h))+\b`)
+
+// ratioRE matches speedup ratios ((0.97x), 1.08x).
+var ratioRE = regexp.MustCompile(`\d+(\.\d+)?x\b`)
+
+// spacesRE collapses padding that varies with the width of the numbers
+// the other rules erased.
+var spacesRE = regexp.MustCompile(` +`)
+
+// normalize erases the timing-dependent parts of an example's output.
+func normalize(out string) string {
+	out = ratioRE.ReplaceAllString(out, "RATIO")
+	out = durationRE.ReplaceAllString(out, "DUR")
+	return spacesRE.ReplaceAllString(out, " ")
+}
+
+// TestExamples builds and runs every example program twice and asserts
+// the normalized outputs are non-empty, identical across runs, and
+// contain none of the failure markers the examples print on divergence.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples rebuild and run full pipelines; skipped in -short")
+	}
+	bin := t.TempDir()
+	for _, name := range examplePrograms {
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./"+name)
+			build.Dir = "."
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./examples/%s: %v\n%s", name, err, out)
+			}
+			run := func() string {
+				cmd := exec.Command(exe)
+				cmd.Dir = "."
+				out, err := cmd.CombinedOutput()
+				if err != nil {
+					t.Fatalf("%s failed: %v\n%s", name, err, out)
+				}
+				return string(out)
+			}
+			first, second := run(), run()
+			if strings.TrimSpace(first) == "" {
+				t.Fatalf("%s produced no output", name)
+			}
+			for _, marker := range []string{"correct=false", "ok=false", "matches serial output: false"} {
+				if strings.Contains(first, marker) {
+					t.Fatalf("%s reported a divergence:\n%s", name, first)
+				}
+			}
+			a, b := normalize(first), normalize(second)
+			if a != b {
+				t.Fatalf("%s output not deterministic after normalization:\n--- run 1\n%s\n--- run 2\n%s", name, a, b)
+			}
+		})
+	}
+}
+
+// TestExamplesComplete fails when a new example directory is added
+// without being wired into the smoke test.
+func TestExamplesComplete(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, name := range examplePrograms {
+		listed[name] = true
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !listed[e.Name()] {
+			t.Errorf("examples/%s is not covered by the smoke test; add it to examplePrograms", e.Name())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWarmGate pins the serving gate arithmetic: memory-tier hits at
+// ≥10× pass, anything slower or served from another tier fails.
+func TestWarmGate(t *testing.T) {
+	cases := []struct {
+		tier    string
+		speedup float64
+		want    bool
+	}{
+		{"memory", 10, true},
+		{"memory", 293.7, true},
+		{"memory", 9.99, false},
+		{"memory", 0, false},
+		{"disk", 50, false},
+		{"miss", 1000, false},
+		{"", 50, false},
+	}
+	for _, c := range cases {
+		if got := warmGate(c.tier, c.speedup); got != c.want {
+			t.Errorf("warmGate(%q, %v) = %v, want %v", c.tier, c.speedup, got, c.want)
+		}
+	}
+}
+
+// TestSpeedupAndMS pins the ratio and unit conversions the JSON report
+// is built from.
+func TestSpeedupAndMS(t *testing.T) {
+	if got := speedup(100*time.Millisecond, 10*time.Millisecond); got != 10 {
+		t.Errorf("speedup(100ms, 10ms) = %v, want 10", got)
+	}
+	if got := speedup(time.Second, 0); got != 0 {
+		t.Errorf("speedup(b=0) = %v, want 0", got)
+	}
+	if got := speedup(time.Second, -time.Millisecond); got != 0 {
+		t.Errorf("speedup(b<0) = %v, want 0", got)
+	}
+	if got := ms(1500 * time.Microsecond); got != 1.5 {
+		t.Errorf("ms(1.5ms) = %v, want 1.5", got)
+	}
+	if got := ms(250 * time.Nanosecond); got != 0 {
+		t.Errorf("ms truncates below 1µs: got %v, want 0", got)
+	}
+}
+
+// TestServeComparisonJSONShape pins the field names of BENCH_serve.json:
+// the CI gate and the README numbers read these keys, so a silent rename
+// must fail here first.
+func TestServeComparisonJSONShape(t *testing.T) {
+	cmp := &ServeComparison{
+		Workers: 2, CPUs: 1, MaxInFlight: 8, QueueDepth: 32,
+		Specs: []ServeSpecLatency{{
+			Spec: "wc -l", Space: 2700, ColdMS: 9.5, WarmMS: 0.03,
+			WarmSpeedup: 293, WarmTier: "memory",
+		}},
+		Throughput:   []ServeThroughput{{Clients: 4, Requests: 200, WallMS: 7.6, RPS: 26315}},
+		ExecuteAgree: true, Agree: true,
+	}
+	data, err := json.Marshal(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]any
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"workers", "cpus", "max_in_flight", "queue_depth",
+		"specs", "throughput", "execute_agree", "agree",
+	} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("BENCH_serve.json top-level key %q missing (got %s)", key, data)
+		}
+	}
+	spec := top["specs"].([]any)[0].(map[string]any)
+	for _, key := range []string{"spec", "space", "cold_ms", "warm_ms", "warm_speedup", "warm_tier"} {
+		if _, ok := spec[key]; !ok {
+			t.Errorf("spec entry key %q missing (got %s)", key, data)
+		}
+	}
+	th := top["throughput"].([]any)[0].(map[string]any)
+	for _, key := range []string{"clients", "requests", "wall_ms", "rps"} {
+		if _, ok := th[key]; !ok {
+			t.Errorf("throughput entry key %q missing (got %s)", key, data)
+		}
+	}
+}
+
+// TestGenWordInput pins the benchmark input generator: deterministic,
+// newline-terminated, with real duplicate runs for uniq -c to count.
+func TestGenWordInput(t *testing.T) {
+	a, b := genWordInput(200), genWordInput(200)
+	if a != b {
+		t.Fatal("genWordInput not deterministic")
+	}
+	if !strings.HasSuffix(a, "\n") {
+		t.Fatal("genWordInput output not newline-terminated")
+	}
+	lines := strings.Split(strings.TrimSuffix(a, "\n"), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("genWordInput(200) produced %d lines", len(lines))
+	}
+	distinct := map[string]bool{}
+	for _, l := range lines {
+		distinct[l] = true
+	}
+	if len(distinct) >= len(lines) {
+		t.Fatal("genWordInput produced no duplicate lines")
+	}
+}
+
+// TestBenchSpecsSpan pins the workload classes: one spec per search-space
+// size class, all distinct.
+func TestBenchSpecsSpan(t *testing.T) {
+	if len(benchSpecs) != 3 {
+		t.Fatalf("benchSpecs = %v, want one spec per size class", benchSpecs)
+	}
+	seen := map[string]bool{}
+	for _, s := range benchSpecs {
+		if seen[s] {
+			t.Fatalf("duplicate bench spec %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,201 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"kumquat"
+)
+
+// Config is one execution configuration of the differential sweep: an
+// execution mode, a data-parallelism degree, and a combine-plane worker
+// bound (0 = the executor's default).
+type Config struct {
+	// Mode is the execution mode name ("optimized", "unoptimized",
+	// "pipelined") — the JSON-friendly form of kumquat.Mode.
+	Mode string `json:"mode"`
+	// K is the data-parallelism degree.
+	K int `json:"k"`
+	// CombineWorkers bounds the combine plane (0 = default).
+	CombineWorkers int `json:"combine_workers,omitempty"`
+}
+
+// Configs enumerates the sweep every case runs under: optimized and
+// unoptimized at every worker count in {1, 4, GOMAXPROCS}, each mode
+// once more with the combine plane forced serial at the widest k, and
+// the pipelined (T_orig) configuration. The serial oracle is run
+// separately and is not part of the sweep.
+func Configs() []Config {
+	ks := workerCounts()
+	widest := ks[0]
+	for _, k := range ks {
+		if k > widest {
+			widest = k
+		}
+	}
+	var out []Config
+	for _, mode := range []kumquat.Mode{kumquat.Optimized, kumquat.Unoptimized} {
+		for _, k := range ks {
+			out = append(out, Config{Mode: mode.String(), K: k})
+		}
+		out = append(out, Config{Mode: mode.String(), K: widest, CombineWorkers: 1})
+	}
+	out = append(out, Config{Mode: kumquat.Pipelined.String(), K: 1})
+	return out
+}
+
+// Divergence records one case × configuration whose result differed from
+// the serial oracle.
+type Divergence struct {
+	// Case replays the failure (Corpus truncated for the report when
+	// large; Seed+Index regenerate it exactly).
+	Case *Case `json:"case"`
+	// Config is the diverging execution configuration.
+	Config Config `json:"config"`
+	// Detail is a human-readable summary of the first difference.
+	Detail string `json:"detail"`
+	// Shrunk is the minimized reproducing case — possibly identical to
+	// Case when no reduction preserved the failure. It is nil when
+	// shrinking was disabled or the divergence did not reproduce on the
+	// shrinker's re-run (a flaky failure).
+	Shrunk *Case `json:"shrunk,omitempty"`
+}
+
+// oracleResult is one case's serial-oracle outcome, computed once and
+// reused by every plane that diffs against it.
+type oracleResult struct {
+	out string
+	err error
+}
+
+// RunCase compiles one case and executes it under every config,
+// byte-diffing each result against the serial oracle. It returns the
+// divergences and the number of executions performed (oracle included).
+// A compile error is a generator bug and is returned as err.
+func RunCase(ctx context.Context, sys *kumquat.System, c *Case, configs []Config) ([]Divergence, int, error) {
+	divs, execs, _, err := runCase(ctx, sys, c, configs)
+	return divs, execs, err
+}
+
+// runCase is RunCase plus the oracle outcome, so callers that diff
+// further planes against the same case (the serve replay) reuse it
+// instead of re-running the serial execution.
+func runCase(ctx context.Context, sys *kumquat.System, c *Case, configs []Config) ([]Divergence, int, oracleResult, error) {
+	plan, err := compileCase(ctx, sys, c)
+	if err != nil {
+		return nil, 0, oracleResult{}, err
+	}
+	want, wantErr := execCase(ctx, plan, c, Config{Mode: kumquat.Serial.String(), K: 1})
+	oracle := oracleResult{out: want, err: wantErr}
+	execs := 1
+	var divs []Divergence
+	for _, cfg := range configs {
+		got, gotErr := execCase(ctx, plan, c, cfg)
+		execs++
+		if err := ctx.Err(); err != nil {
+			return nil, execs, oracle, err
+		}
+		if detail, ok := diverges(want, wantErr, got, gotErr); !ok {
+			divs = append(divs, Divergence{Case: c.forReport(), Config: cfg, Detail: detail})
+		}
+	}
+	return divs, execs, oracle, nil
+}
+
+// compileCase parallelizes the case's script in a private environment
+// (its corpus registered when file-sourced) through the shared system, so
+// combiner caches stay warm across cases.
+func compileCase(ctx context.Context, sys *kumquat.System, c *Case) (*kumquat.Plan, error) {
+	env := kumquat.NewEnv()
+	if c.Source != "" {
+		env.Register(c.Source, c.Corpus)
+	}
+	return sys.ParallelizeInEnv(ctx, env, c.Script)
+}
+
+// execCase runs the compiled plan under one configuration and returns
+// the output stream (the corpus streams in as stdin for stdin-sourced
+// cases).
+func execCase(ctx context.Context, plan *kumquat.Plan, c *Case, cfg Config) (string, error) {
+	mode, err := kumquat.ParseMode(cfg.Mode)
+	if err != nil {
+		return "", err
+	}
+	opts := []kumquat.ExecOption{
+		kumquat.WithMode(mode),
+		kumquat.WithParallelism(cfg.K),
+	}
+	if cfg.CombineWorkers > 0 {
+		opts = append(opts, kumquat.WithCombineWorkers(cfg.CombineWorkers))
+	}
+	if c.Source == "" {
+		opts = append(opts, kumquat.WithStdin(strings.NewReader(c.Corpus)))
+	}
+	rep, err := plan.Execute(ctx, opts...)
+	if err != nil {
+		return "", err
+	}
+	return rep.Output, nil
+}
+
+// diverges compares a configuration's result to the oracle's. Errors
+// must agree in presence; outputs must agree byte-for-byte. ok is false
+// on divergence, with detail describing the first difference.
+func diverges(want string, wantErr error, got string, gotErr error) (detail string, ok bool) {
+	switch {
+	case wantErr != nil && gotErr != nil:
+		return "", true
+	case wantErr != nil:
+		return fmt.Sprintf("oracle failed (%v) but configuration succeeded", wantErr), false
+	case gotErr != nil:
+		return fmt.Sprintf("oracle succeeded but configuration failed: %v", gotErr), false
+	case want == got:
+		return "", true
+	}
+	return diffSummary(want, got), false
+}
+
+// diffSummary pinpoints the first differing byte and shows a short
+// window of both streams around it.
+func diffSummary(want, got string) string {
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	return fmt.Sprintf("first difference at byte %d: oracle %q vs got %q (lengths %d vs %d)",
+		i, window(want, i), window(got, i), len(want), len(got))
+}
+
+// window extracts a short context slice of s around offset i.
+func window(s string, i int) string {
+	lo := i - 12
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 24
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// reportCorpusCap bounds the corpus bytes embedded in a report entry;
+// Seed+Index regenerate the full corpus when it is larger.
+const reportCorpusCap = 2048
+
+// forReport returns the case with its corpus truncated for JSON output.
+// The cut backs off to a rune boundary so a multi-byte corpus never
+// turns into invalid UTF-8 in the report.
+func (c *Case) forReport() *Case {
+	if len(c.Corpus) <= reportCorpusCap {
+		return c
+	}
+	cut := reportCorpusCap
+	for cut > 0 && c.Corpus[cut]&0xC0 == 0x80 {
+		cut--
+	}
+	cc := *c
+	cc.Corpus = cc.Corpus[:cut] + "…(truncated)"
+	return &cc
+}

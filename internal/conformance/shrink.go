@@ -1,0 +1,154 @@
+package conformance
+
+import (
+	"context"
+	"strings"
+
+	"kumquat"
+)
+
+// ShrinkCase minimizes a diverging case: it greedily drops pipeline
+// stages, then ddmin-reduces the corpus lines, re-checking after every
+// reduction that the case still diverges from the serial oracle under
+// cfg. It returns the minimal reproducing case, or nil when the original
+// divergence does not reproduce (a flaky failure worth reporting as-is).
+func ShrinkCase(ctx context.Context, sys *kumquat.System, c *Case, cfg Config) *Case {
+	fails := func(c *Case) bool { return caseDiverges(ctx, sys, c, cfg) }
+	if !fails(c) {
+		return nil
+	}
+	cur := *c
+
+	// Pass 1: drop stages, keeping the `cat FILE` source (dropping it
+	// would silently change the input plumbing, not the computation).
+	stages := splitStages(cur.Script)
+	for i := 0; i < len(stages); {
+		if cur.Source != "" && i == 0 {
+			i++
+			continue
+		}
+		if len(nonSourceStages(stages, cur.Source)) <= 1 {
+			break
+		}
+		candidate := cur
+		candidate.Script = joinStages(append(append([]string{}, stages[:i]...), stages[i+1:]...))
+		if fails(&candidate) {
+			cur = candidate
+			stages = splitStages(cur.Script)
+			continue
+		}
+		i++
+	}
+
+	// Pass 2: ddmin the corpus lines.
+	cur.Corpus = shrinkCorpus(cur.Corpus, func(s string) bool {
+		candidate := cur
+		candidate.Corpus = s
+		return fails(&candidate)
+	})
+	return &cur
+}
+
+// shrinkCorpus ddmin-minimizes a corpus under a string-level failure
+// predicate, preserving the trailing-newline state (the boundary the
+// stitch combiners care about). It is the shared corpus pass behind
+// ShrinkCase, CandidateCheck.ShrinkCorpus and the stress shrinker;
+// fails must be true for the input, which is returned unchanged when it
+// is not.
+func shrinkCorpus(corpus string, fails func(string) bool) string {
+	if corpus == "" || !fails(corpus) {
+		return corpus
+	}
+	terminated := strings.HasSuffix(corpus, "\n")
+	lines := strings.Split(strings.TrimSuffix(corpus, "\n"), "\n")
+	lines = ShrinkLines(lines, func(ls []string) bool {
+		return fails(joinLines(ls, terminated))
+	})
+	return joinLines(lines, terminated)
+}
+
+// ShrinkLines is a ddmin-style minimizer: it removes progressively
+// smaller chunks of lines while fails keeps reporting the failure, and
+// returns a subset from which no single chunk can be removed. fails must
+// be true for the input.
+func ShrinkLines(lines []string, fails func([]string) bool) []string {
+	granularity := 2
+	for len(lines) >= 2 {
+		chunk := (len(lines) + granularity - 1) / granularity
+		reduced := false
+		for start := 0; start < len(lines); start += chunk {
+			end := start + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			candidate := make([]string, 0, len(lines)-(end-start))
+			candidate = append(candidate, lines[:start]...)
+			candidate = append(candidate, lines[end:]...)
+			if fails(candidate) {
+				lines = candidate
+				if granularity > 2 {
+					granularity--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if granularity >= len(lines) {
+				break
+			}
+			granularity *= 2
+			if granularity > len(lines) {
+				granularity = len(lines)
+			}
+		}
+	}
+	return lines
+}
+
+// caseDiverges recompiles and re-runs a candidate case, reporting whether
+// it still diverges from the serial oracle under cfg.
+func caseDiverges(ctx context.Context, sys *kumquat.System, c *Case, cfg Config) bool {
+	plan, err := compileCase(ctx, sys, c)
+	if err != nil {
+		return false
+	}
+	want, wantErr := execCase(ctx, plan, c, Config{Mode: kumquat.Serial.String(), K: 1})
+	got, gotErr := execCase(ctx, plan, c, cfg)
+	_, ok := diverges(want, wantErr, got, gotErr)
+	return !ok
+}
+
+// splitStages splits a one-pipeline script back into its stage specs.
+func splitStages(script string) []string {
+	parts := strings.Split(strings.TrimSuffix(script, "\n"), " | ")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}
+
+// joinStages rebuilds the script text from stage specs.
+func joinStages(stages []string) string { return strings.Join(stages, " | ") + "\n" }
+
+// nonSourceStages counts the stages that are not the `cat FILE` source.
+func nonSourceStages(stages []string, source string) []string {
+	if source == "" || len(stages) == 0 {
+		return stages
+	}
+	return stages[1:]
+}
+
+// joinLines rebuilds a corpus from lines, restoring the original
+// trailing-newline state.
+func joinLines(lines []string, terminated bool) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	s := strings.Join(lines, "\n")
+	if terminated {
+		s += "\n"
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 // Package doclint holds the repository's godoc lint: a test that fails
-// when an exported identifier in the synthesis-facing packages
-// (internal/synth, internal/synth/cache, internal/dsl) lacks a doc
-// comment. CI runs it as the doc-lint step; locally it runs with the
+// when an exported identifier in the synthesis-, service- and
+// test-plane-facing packages (internal/synth, internal/synth/cache,
+// internal/dsl, internal/server, internal/server/client,
+// internal/conformance) lacks a doc comment. CI runs it as the doc-lint step; locally it runs with the
 // ordinary test suite.
 package doclint

@@ -18,6 +18,7 @@ var lintedPackages = []string{
 	"../dsl",
 	"../server",
 	"../server/client",
+	"../conformance",
 }
 
 // TestDocComments fails for every exported top-level identifier — type,
