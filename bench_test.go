@@ -6,6 +6,7 @@
 package kumquat
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -39,7 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 			if !table1Scripts[spec.Name] {
 				continue
 			}
-			r, err := h.RunScript(spec)
+			r, err := h.RunScript(context.Background(), spec)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -82,7 +83,7 @@ func benchCatalogAt(b *testing.B, k int, optimized bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range bench.Catalog() {
-			r, err := h.RunScript(spec)
+			r, err := h.RunScript(context.Background(), spec)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -20,10 +20,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -43,26 +45,31 @@ func main() {
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool for -bench-synth (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	// One interrupt-bound root context feeds every benchmark run, so ^C
+	// aborts mid-measurement instead of hanging until the sweep finishes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *benchExec != "" {
-		if err := writeBenchExec(*benchExec, *scale, *k); err != nil {
+		if err := writeBenchExec(ctx, *benchExec, *scale, *k); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *benchSynth != "" {
-		if err := writeBenchSynth(*benchSynth, *synthWorkers); err != nil {
+		if err := writeBenchSynth(ctx, *benchSynth, *synthWorkers); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *benchCombine != "" {
-		if err := writeBenchCombine(*benchCombine, *scale, *combineWorkers); err != nil {
+		if err := writeBenchCombine(ctx, *benchCombine, *scale, *combineWorkers); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *benchServe != "" {
-		if err := writeBenchServe(*benchServe, *synthWorkers); err != nil {
+		if err := writeBenchServe(ctx, *benchServe, *synthWorkers); err != nil {
 			fatal(err)
 		}
 		return
@@ -83,7 +90,7 @@ func main() {
 	switch {
 	case needRuns[*table]:
 		start := time.Now()
-		results, err = h.RunAll()
+		results, err = h.RunAll(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -190,8 +197,8 @@ func writeSummary(h *bench.Harness) {
 
 // writeBenchExec runs the wordfreq executor comparison and writes the
 // JSON report, echoing a one-line summary per mode to stdout.
-func writeBenchExec(path string, scale, k int) error {
-	cmp, err := bench.CompareExecutors(scale, k)
+func writeBenchExec(ctx context.Context, path string, scale, k int) error {
+	cmp, err := bench.CompareExecutors(ctx, scale, k)
 	if err != nil {
 		return err
 	}
@@ -214,8 +221,8 @@ func writeBenchExec(path string, scale, k int) error {
 
 // writeBenchSynth runs the synthesis engine comparison and writes the
 // JSON report, echoing one line per measurement to stdout.
-func writeBenchSynth(path string, workers int) error {
-	cmp, err := bench.CompareSynth(workers)
+func writeBenchSynth(ctx context.Context, path string, workers int) error {
+	cmp, err := bench.CompareSynth(ctx, workers)
 	if err != nil {
 		return err
 	}
@@ -243,8 +250,8 @@ func writeBenchSynth(path string, workers int) error {
 
 // writeBenchCombine runs the combine-plane comparison and writes the
 // JSON report, echoing one line per measurement to stdout.
-func writeBenchCombine(path string, scale, workers int) error {
-	cmp, err := bench.CompareCombine(scale, workers)
+func writeBenchCombine(ctx context.Context, path string, scale, workers int) error {
+	cmp, err := bench.CompareCombine(ctx, scale, workers)
 	if err != nil {
 		return err
 	}
@@ -272,8 +279,8 @@ func writeBenchCombine(path string, scale, workers int) error {
 
 // writeBenchServe runs the service-plane comparison against a loopback
 // daemon and writes the JSON report, echoing one line per measurement.
-func writeBenchServe(path string, workers int) error {
-	cmp, err := serve.Compare(workers)
+func writeBenchServe(ctx context.Context, path string, workers int) error {
+	cmp, err := serve.Compare(ctx, workers)
 	if err != nil {
 		return err
 	}

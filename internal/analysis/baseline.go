@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry pins one accepted finding. An entry without a
+// Justification is an error, not a suppression: the baseline exists to
+// make accepted findings visible and explained, never to silence them.
+type BaselineEntry struct {
+	// Analyzer, File and Message identify the finding (Finding.Key).
+	Analyzer string `json:"analyzer"`
+	// File is the module-root-relative, slash-separated path.
+	File string `json:"file"`
+	// Message is the finding's exact message.
+	Message string `json:"message"`
+	// Justification explains, in a sentence, why the finding is accepted
+	// rather than fixed. Required.
+	Justification string `json:"justification"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	// Entries lists every pinned finding, sorted by file then analyzer
+	// then message for stable diffs.
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// ReadBaseline loads a baseline file. A missing file yields an empty
+// baseline and no error, so a clean tree needs no baseline at all.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes entries to path, sorted, as indented JSON.
+func WriteBaseline(path string, entries []BaselineEntry) error {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(Baseline{Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// key builds the lookup identity of an entry, matching Finding.Key.
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// Apply marks every finding matched by a baseline entry as Baselined and
+// copies the justification over. It returns the stale entries — pins that
+// matched no current finding — so the driver can fail on them: a fixed
+// finding must leave the baseline, keeping the pin set an honest record.
+func (b *Baseline) Apply(findings []Finding) (stale []BaselineEntry) {
+	matched := make(map[string]bool)
+	byKey := make(map[string]BaselineEntry, len(b.Entries))
+	for _, e := range b.Entries {
+		byKey[e.key()] = e
+	}
+	for i := range findings {
+		if e, ok := byKey[findings[i].Key()]; ok {
+			findings[i].Baselined = true
+			findings[i].Justification = e.Justification
+			matched[e.key()] = true
+		}
+	}
+	for _, e := range b.Entries {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}

@@ -1,0 +1,201 @@
+// Package captable guards the combine plane's capability table: every
+// implementation of dsl.Op must declare Associative itself — explicitly,
+// with a doc comment justifying the declared associativity — because a
+// truthful Associative is what licenses CombineKTree's balanced-tree
+// reduction (a wrong inherited default silently changes parallel output).
+// It also flags ad-hoc accumulator folds over Op.Eval outside the dsl
+// package: re-bracketing a k-way combine by hand bypasses the
+// associativity gate and the tree/fold conformance suite, so k-way
+// combines must route through CombineKTree.
+package captable
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kumquat/internal/analysis"
+)
+
+// dslPath is the package that owns the Op capability contract.
+const dslPath = "kumquat/internal/dsl"
+
+// Analyzer is the captable checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "captable",
+	Doc: "require every dsl.Op implementation to declare a documented " +
+		"Associative and forbid ad-hoc combiner folds that bypass CombineKTree",
+	Run: run,
+}
+
+// run applies both capability rules when the package can see dsl.Op.
+func run(pass *analysis.Pass) error {
+	op := opInterface(pass)
+	if op == nil {
+		return nil
+	}
+	checkDeclarations(pass, op)
+	if pass.Pkg.Path() != dslPath {
+		checkFolds(pass, op)
+	}
+	return nil
+}
+
+// opInterface resolves the dsl.Op interface from the pass's package or
+// its direct imports; nil when dsl is out of view.
+func opInterface(pass *analysis.Pass) *types.Interface {
+	dsl := pass.Pkg
+	if dsl.Path() != dslPath {
+		dsl = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == dslPath {
+				dsl = imp
+				break
+			}
+		}
+	}
+	if dsl == nil {
+		return nil
+	}
+	obj, ok := dsl.Scope().Lookup("Op").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// checkDeclarations verifies every Op-implementing named type in the
+// package declares a documented Associative of its own.
+func checkDeclarations(pass *analysis.Pass, op *types.Interface) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue // interfaces state the contract, they don't implement it
+		}
+		if !types.Implements(named, op) && !types.Implements(types.NewPointer(named), op) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(named, true, pass.Pkg, "Associative")
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue // cannot implement Op without Associative; unreachable
+		}
+		if recv := receiverNamed(fn); recv != named {
+			pass.Reportf(tn.Pos(), "%s implements dsl.Op but inherits Associative from an embedded type; declare Associative explicitly on %s", name, name)
+			continue
+		}
+		if decl := findFuncDecl(pass, fn); decl != nil && decl.Doc == nil {
+			pass.Reportf(decl.Pos(), "Associative on %s must carry a doc comment justifying the declared associativity", name)
+		}
+	}
+}
+
+// receiverNamed returns the named type a method is declared on (pointer
+// receivers dereferenced), or nil.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// findFuncDecl locates the syntax of a function declared in this package.
+func findFuncDecl(pass *analysis.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// checkFolds flags accumulator loops over Op.Eval outside dsl.
+func checkFolds(pass *analysis.Pass, op *types.Interface) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				assign, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, rhs := range assign.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isOpEval(pass, call, op) {
+						continue
+					}
+					if accumulates(assign, call) {
+						pass.Reportf(assign.Pos(), "ad-hoc combiner fold over Op.Eval re-brackets the reduction and bypasses the Associative gate; route k-way combines through CombineKTree")
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isOpEval reports whether call invokes Eval on a value whose type
+// implements dsl.Op.
+func isOpEval(pass *analysis.Pass, call *ast.CallExpr, op *types.Interface) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Eval" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	return types.Implements(t, op) ||
+		types.Implements(types.NewPointer(t), op) ||
+		types.AssignableTo(t, op)
+}
+
+// accumulates reports whether an assignment feeds one of its own LHS
+// variables back into the call's arguments — the fold signature.
+func accumulates(assign *ast.AssignStmt, call *ast.CallExpr) bool {
+	lhs := make(map[string]bool)
+	for _, l := range assign.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+			lhs[id.Name] = true
+		}
+	}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && lhs[id.Name] {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package captable_test
+
+import (
+	"testing"
+
+	"kumquat/internal/analysis/analysistest"
+	"kumquat/internal/analysis/captable"
+)
+
+// TestCaptable proves the analyzer fires on inherited and undocumented
+// Associative declarations and on ad-hoc Op.Eval folds, and stays silent
+// on declared operators, binary combines and CombineKTree-routed k-way
+// combines.
+func TestCaptable(t *testing.T) {
+	analysistest.Run(t, captable.Analyzer, "testdata/src/a")
+}

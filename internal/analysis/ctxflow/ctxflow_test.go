@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"kumquat/internal/analysis/analysistest"
+	"kumquat/internal/analysis/ctxflow"
+)
+
+// TestCtxflow proves the analyzer fires on fresh root contexts and
+// misplaced ctx parameters in library code, and stays silent in a main
+// package.
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/a", "testdata/src/cmdmain")
+}

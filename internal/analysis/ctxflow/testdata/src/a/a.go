@@ -1,0 +1,42 @@
+// Package a is the ctxflow fixture: root contexts and misplaced ctx
+// parameters in library code.
+package a
+
+import "context"
+
+// rootCtx mints a fresh root context mid-library.
+func rootCtx() error {
+	ctx := context.Background() // want `context\.Background in library code severs cancellation`
+	return work(ctx, "x")
+}
+
+// todoCtx hides an unfinished propagation chain.
+func todoCtx() error {
+	return work(context.TODO(), "y") // want `context\.TODO in library code severs cancellation`
+}
+
+// misplaced takes ctx second.
+func misplaced(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	return work(ctx, name)
+}
+
+// misplacedLit is the function-literal face of the same rule.
+var misplacedLit = func(n int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = work(ctx, "lit")
+}
+
+// work is the well-behaved shape: ctx first, no fresh roots.
+func work(ctx context.Context, name string) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		_ = name
+		return nil
+	}
+}
+
+// derive builds child contexts from a caller's ctx — allowed.
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,15 @@
+// Command cmdmain is the ctxflow negative fixture: a main package may
+// root its own context, so nothing here fires.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

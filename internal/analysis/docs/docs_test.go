@@ -1,0 +1,14 @@
+package docs_test
+
+import (
+	"testing"
+
+	"kumquat/internal/analysis/analysistest"
+	"kumquat/internal/analysis/docs"
+)
+
+// TestDocs proves the analyzer fires on undocumented exported identifiers
+// in an enforced package and stays silent in an unenforced one.
+func TestDocs(t *testing.T) {
+	analysistest.Run(t, docs.Analyzer, "testdata/src/a", "testdata/src/plain")
+}

@@ -1,0 +1,37 @@
+//kqvet:docs
+
+// Package a is the docs fixture: a directive-enforced package with
+// undocumented exported identifiers next to documented (and unexported)
+// ones that must not fire.
+package a
+
+// Documented carries its comment.
+type Documented struct{}
+
+// Method is documented.
+func (Documented) Method() {}
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+func (Bare) Method() {} // want `exported method Method has no doc comment`
+
+func Exported() {} // want `exported function Exported has no doc comment`
+
+// Grouped constants may document the group.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Loose = 3 // want `exported const Loose has no doc comment`
+
+var Exposed int // want `exported var Exposed has no doc comment`
+
+// unexported identifiers are out of godoc's surface.
+type internalType struct{}
+
+func (internalType) Exported() {}
+
+func helper() { _ = internalType{}; _ = Exposed }
+
+var _ = helper

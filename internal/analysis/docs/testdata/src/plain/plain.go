@@ -1,0 +1,5 @@
+// Package plain is the docs negative fixture: not enforced, so its bare
+// exported identifier stays silent.
+package plain
+
+type Bare struct{}

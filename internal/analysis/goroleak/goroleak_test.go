@@ -1,0 +1,14 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"kumquat/internal/analysis/analysistest"
+	"kumquat/internal/analysis/goroleak"
+)
+
+// TestGoroleak proves the analyzer fires on fire-and-forget goroutines
+// and stays silent on WaitGroup-joined pools and ctx-bounded pumps.
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "testdata/src/a")
+}

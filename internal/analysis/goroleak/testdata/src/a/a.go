@@ -1,0 +1,48 @@
+// Package a is the goroleak fixture: unbounded goroutines next to the
+// two sanctioned shapes (WaitGroup join, ctx-cancel exit).
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// fireAndForget launches a goroutine nothing ever joins or cancels.
+func fireAndForget(work func()) {
+	go work() // want `neither joined by a sync\.WaitGroup nor bounded by a ctx-cancel exit path`
+}
+
+// leakyLit is the function-literal face of the same leak.
+func leakyLit(items []string, f func(string)) {
+	for _, it := range items {
+		go func(it string) { // want `neither joined by a sync\.WaitGroup nor bounded by a ctx-cancel exit path`
+			f(it)
+		}(it)
+	}
+}
+
+// pooled is the worker-pool shape: WaitGroup-joined, no diagnostic.
+func pooled(items []string, f func(string)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it string) {
+			defer wg.Done()
+			f(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// pump is the streaming-reader shape: ctx-cancel bounded, no diagnostic.
+func pump(ctx context.Context, out chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

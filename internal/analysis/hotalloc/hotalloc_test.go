@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"kumquat/internal/analysis/analysistest"
+	"kumquat/internal/analysis/hotalloc"
+)
+
+// TestHotalloc proves the analyzer fires on Sprintf, string concatenation
+// and string<->[]byte conversions inside loops of a hot-designated
+// package, and stays silent outside loops and in undesignated packages.
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/a", "testdata/src/cold")
+}

@@ -1,0 +1,14 @@
+// Package cold is the hotalloc negative fixture: not designated hot, so
+// even a Sprintf-in-loop stays silent.
+package cold
+
+import "fmt"
+
+// chatty allocates per iteration but is not on the hot path.
+func chatty(names []string) []string {
+	out := make([]string, 0, len(names))
+	for i, n := range names {
+		out = append(out, fmt.Sprintf("%d:%s", i, n))
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package poolpair checks that every buffer taken from the textio builder
+// pool is returned: a textio.GetBuilder call must be paired with a
+// textio.PutBuilder of the same variable in the same function, and the
+// return should be deferred so early returns cannot leak the pooled
+// buffer. A leaked builder silently degrades the combine plane's
+// steady-state one-allocation guarantee (PR 3) back to the log-growth
+// reallocation chain the pool exists to avoid.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kumquat/internal/analysis"
+)
+
+// getName and putName are the fully-qualified pool entry points.
+const (
+	getName = "kumquat/internal/textio.GetBuilder"
+	putName = "kumquat/internal/textio.PutBuilder"
+)
+
+// Analyzer is the poolpair checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc: "check that every textio.GetBuilder has a matching, preferably " +
+		"deferred, textio.PutBuilder in the same function (pooled-buffer leak)",
+	Run: run,
+}
+
+// run applies the check to every function body in the package.
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkBody(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// acquisition records one GetBuilder call bound to a variable.
+type acquisition struct {
+	obj types.Object // the builder variable
+	pos token.Pos    // the GetBuilder call site
+}
+
+// checkBody matches Get/Put pairs lexically within one function body
+// (function literals included — pairing across a literal boundary still
+// counts, which matches how the combine plane hands builders to worker
+// closures).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var gets []acquisition
+	puts := make(map[types.Object][]putSite)
+	// inDefer marks put calls that run on the deferred path — either
+	// `defer textio.PutBuilder(b)` directly or a put anywhere inside a
+	// deferred closure.
+	inDefer := make(map[token.Pos]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// b := textio.GetBuilder() (or b = ...): track the variable.
+			if len(n.Rhs) == 1 && isCallTo(pass, n.Rhs[0], getName) {
+				if len(n.Lhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							gets = append(gets, acquisition{obj: obj, pos: n.Rhs[0].Pos()})
+							return true
+						}
+					}
+				}
+				pass.Reportf(n.Pos(), "textio.GetBuilder result is not bound to a variable; the pooled buffer cannot be returned with PutBuilder")
+			}
+		case *ast.ExprStmt:
+			if isCallTo(pass, n.X, getName) {
+				pass.Reportf(n.Pos(), "textio.GetBuilder result is discarded; the pooled buffer cannot be returned with PutBuilder")
+			}
+		case *ast.DeferStmt:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && putArg(pass, call) != nil {
+					inDefer[call.Pos()] = true
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			if obj := putArg(pass, n); obj != nil {
+				puts[obj] = append(puts[obj], putSite{pos: n.Pos(), deferred: inDefer[n.Pos()]})
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		sites := puts[g.obj]
+		if len(sites) == 0 {
+			pass.Reportf(g.pos, "pooled buffer %s from textio.GetBuilder is never returned with textio.PutBuilder (leak)", g.obj.Name())
+			continue
+		}
+		deferred := false
+		var firstPut token.Pos
+		for _, s := range sites {
+			if s.deferred {
+				deferred = true
+			}
+			if firstPut == token.NoPos || s.pos < firstPut {
+				firstPut = s.pos
+			}
+		}
+		if !deferred && returnsBetween(body, g.pos, firstPut) {
+			pass.Reportf(g.pos, "pooled buffer %s may leak on an early return before textio.PutBuilder; use defer textio.PutBuilder(%s)", g.obj.Name(), g.obj.Name())
+		}
+	}
+}
+
+// putSite is one PutBuilder call for a tracked variable.
+type putSite struct {
+	pos      token.Pos
+	deferred bool
+}
+
+// isCallTo reports whether expr is a call to the named function.
+func isCallTo(pass *analysis.Pass, expr ast.Expr, fullName string) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.FullName() == fullName
+}
+
+// putArg returns the variable passed to a PutBuilder call, or nil when
+// call is not a PutBuilder of a plain identifier.
+func putArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.FullName() != putName || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// returnsBetween reports whether body contains a return statement lexically
+// between two positions — the window where a non-deferred PutBuilder can be
+// skipped.
+func returnsBetween(body *ast.BlockStmt, from, to token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// A return whose expression contains the put itself (returning a
+		// closure that puts the buffer back) does not skip the put, hence
+		// the End() bound.
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > from && r.End() < to {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"kumquat/internal/analysis/analysistest"
+	"kumquat/internal/analysis/poolpair"
+)
+
+// TestPoolpair proves the analyzer fires on leaks, early returns and
+// discarded builders, and stays silent on the correct pairings.
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, poolpair.Analyzer, "testdata/src/a")
+}

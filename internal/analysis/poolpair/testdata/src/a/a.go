@@ -1,0 +1,61 @@
+// Package a is the poolpair fixture: every way to mishandle a pooled
+// builder, next to the correct pairings that must not fire.
+package a
+
+import (
+	"strings"
+
+	"kumquat/internal/textio"
+)
+
+// leak never returns the builder.
+func leak() string {
+	b := textio.GetBuilder() // want `never returned with textio\.PutBuilder`
+	b.WriteString("x")
+	return b.String()
+}
+
+// earlyReturn has a put, but a return can skip it.
+func earlyReturn(s string) string {
+	b := textio.GetBuilder() // want `may leak on an early return`
+	b.WriteString(s)
+	if strings.HasPrefix(s, "q") {
+		return ""
+	}
+	out := b.String()
+	textio.PutBuilder(b)
+	return out
+}
+
+// discarded drops the pooled buffer on the floor.
+func discarded() {
+	textio.GetBuilder() // want `result is discarded`
+}
+
+// goodDefer is the canonical pairing.
+func goodDefer(s string) string {
+	b := textio.GetBuilder()
+	defer textio.PutBuilder(b)
+	b.WriteString(s)
+	return b.String()
+}
+
+// goodStraightLine puts without a defer but with no return in between —
+// acceptable, no diagnostic.
+func goodStraightLine(s string) string {
+	b := textio.GetBuilder()
+	b.WriteString(s)
+	out := b.String()
+	textio.PutBuilder(b)
+	return out
+}
+
+// goodClosure pairs across a worker-closure boundary like the combine
+// plane does.
+func goodClosure(s string) func() {
+	b := textio.GetBuilder()
+	return func() {
+		b.WriteString(s)
+		textio.PutBuilder(b)
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one resolved diagnostic: the analyzer that produced it, a
+// root-relative file position, and the message. It is the unit the
+// baseline pins and the JSON report serializes.
+type Finding struct {
+	// Analyzer names the checker that fired.
+	Analyzer string `json:"analyzer"`
+	// File is the slash-separated path of the offending file, relative
+	// to the root passed to RunAnalyzers (the module root under kqvet).
+	File string `json:"file"`
+	// Line and Col locate the finding within File (1-based).
+	Line int `json:"line"`
+	// Col is the 1-based column of the finding.
+	Col int `json:"col"`
+	// Message states the violated invariant.
+	Message string `json:"message"`
+	// Baselined marks a finding matched by a justified baseline entry;
+	// kqvet reports it but does not fail on it.
+	Baselined bool `json:"baselined,omitempty"`
+	// Justification carries the matching baseline entry's justification
+	// for a baselined finding.
+	Justification string `json:"justification,omitempty"`
+}
+
+// Key is the position-independent identity used for baseline matching:
+// line and column are deliberately excluded so unrelated edits above a
+// pinned finding do not un-pin it.
+func (f Finding) Key() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// String renders the finding in the familiar vet style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// merged findings sorted by file, line, column and analyzer. File paths
+// are relativized to root when possible.
+func RunAnalyzers(root string, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				file := pos.Filename
+				if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+					file = rel
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					File:     filepath.ToSlash(file),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

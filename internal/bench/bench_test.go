@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestScriptsExecuteCorrectly(t *testing.T) {
 		if !subset[spec.Name] {
 			continue
 		}
-		r, err := h.RunScript(spec)
+		r, err := h.RunScript(context.Background(), spec)
 		if err != nil {
 			t.Errorf("%s/%s: %v", spec.Suite, spec.Name, err)
 			continue
@@ -150,7 +151,7 @@ func TestFullCatalog(t *testing.T) {
 		t.Skip("full catalog run skipped in -short mode")
 	}
 	h := NewHarness(300, []int{1, 4, 16})
-	results, err := h.RunAll()
+	results, err := h.RunAll(context.Background())
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -181,7 +182,7 @@ func TestTableWriters(t *testing.T) {
 	h := NewHarness(150, []int{1, 2})
 	var results []*ScriptResult
 	for _, spec := range Catalog()[:4] { // analytics-mts suite
-		r, err := h.RunScript(spec)
+		r, err := h.RunScript(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}

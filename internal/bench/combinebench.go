@@ -103,8 +103,9 @@ func timeMin(reps int, f func() error) (time.Duration, error) {
 // class, the serial left fold (Combiner.CombineK) against the balanced
 // tree (Combiner.CombineKTree) on k real substreams; and the k-way merge
 // of pre-sorted streams through the retired cursor scan against the heap
-// merge. workers <= 0 selects GOMAXPROCS; scale <= 0 selects 20000 lines.
-func CompareCombine(scale, workers int) (*CombineComparison, error) {
+// merge. workers <= 0 selects GOMAXPROCS; scale <= 0 selects 20000
+// lines. The context bounds the combiner syntheses.
+func CompareCombine(ctx context.Context, scale, workers int) (*CombineComparison, error) {
 	if scale <= 0 {
 		scale = 20000
 	}
@@ -125,7 +126,7 @@ func CompareCombine(scale, workers int) (*CombineComparison, error) {
 	for _, spec := range combineSpecs {
 		env := unix.DefaultEnv()
 		eng := synth.New(env, synth.Options{Seed: 1})
-		res, err := eng.Synthesize(context.Background(), spec)
+		res, err := eng.Synthesize(ctx, spec)
 		if err != nil {
 			return nil, fmt.Errorf("bench: synthesize %q: %w", spec, err)
 		}

@@ -36,8 +36,9 @@ type ExecComparison struct {
 }
 
 // CompareExecutors measures buffered vs streaming execution of the
-// wordfreq pipeline at the given input scale and parallelism degree.
-func CompareExecutors(scale, k int) (*ExecComparison, error) {
+// wordfreq pipeline at the given input scale and parallelism degree. The
+// context bounds every timed execution.
+func CompareExecutors(ctx context.Context, scale, k int) (*ExecComparison, error) {
 	if scale <= 0 {
 		scale = 20000
 	}
@@ -71,7 +72,7 @@ func CompareExecutors(scale, k int) (*ExecComparison, error) {
 	for i, cfg := range configs {
 		var out strings.Builder
 		start := time.Now()
-		_, err := plan.Execute(context.Background(), env, nil, &out, cfg.mode, cfg.k)
+		_, err := plan.Execute(ctx, env, nil, &out, cfg.mode, cfg.k)
 		wall := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", cfg.name, err)

@@ -112,10 +112,9 @@ func (h *Harness) scriptPlans(spec ScriptSpec) ([]*pipeline.Plan, *pipeline.Scri
 // runMode executes a whole script in one execution mode through the
 // streaming executor and returns the concatenated output of its
 // non-redirected pipelines.
-func (h *Harness) runMode(script *pipeline.Script, plans []*pipeline.Plan,
-	mode pipeline.Mode, k int) (string, error) {
+func (h *Harness) runMode(ctx context.Context, script *pipeline.Script,
+	plans []*pipeline.Plan, mode pipeline.Mode, k int) (string, error) {
 
-	ctx := context.Background()
 	var final strings.Builder
 	for i, plan := range plans {
 		var sink strings.Builder
@@ -131,8 +130,9 @@ func (h *Harness) runMode(script *pipeline.Script, plans []*pipeline.Plan,
 	return final.String(), nil
 }
 
-// RunScript measures one script across all execution modes.
-func (h *Harness) RunScript(spec ScriptSpec) (*ScriptResult, error) {
+// RunScript measures one script across all execution modes. The context
+// bounds every timed execution; a cancellation aborts the run mid-mode.
+func (h *Harness) RunScript(ctx context.Context, spec ScriptSpec) (*ScriptResult, error) {
 	if err := RegisterInputs(h.env, spec.Input, h.Scale); err != nil {
 		return nil, err
 	}
@@ -169,7 +169,7 @@ func (h *Harness) RunScript(spec ScriptSpec) (*ScriptResult, error) {
 	}
 
 	// Serial baseline (u1 measured below with k=1; this fixes ground truth).
-	out, err := h.runMode(script, plans, pipeline.ModeSerial, 1)
+	out, err := h.runMode(ctx, script, plans, pipeline.ModeSerial, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -177,29 +177,29 @@ func (h *Harness) RunScript(spec ScriptSpec) (*ScriptResult, error) {
 
 	// T_orig: pipelined execution of the original script.
 	start := time.Now()
-	out, err = h.runMode(script, plans, pipeline.ModePipelined, 1)
+	out, err = h.runMode(ctx, script, plans, pipeline.ModePipelined, 1)
 	res.TOrig = time.Since(start)
 	check("pipelined", out, err)
 
 	for _, k := range h.Ks {
 		start = time.Now()
-		out, err = h.runMode(script, plans, pipeline.ModeUnoptimized, k)
+		out, err = h.runMode(ctx, script, plans, pipeline.ModeUnoptimized, k)
 		res.U[k] = time.Since(start)
 		check(fmt.Sprintf("u%d", k), out, err)
 
 		start = time.Now()
-		out, err = h.runMode(script, plans, pipeline.ModeOptimized, k)
+		out, err = h.runMode(ctx, script, plans, pipeline.ModeOptimized, k)
 		res.T[k] = time.Since(start)
 		check(fmt.Sprintf("T%d", k), out, err)
 	}
 	return res, nil
 }
 
-// RunAll measures every catalog script.
-func (h *Harness) RunAll() ([]*ScriptResult, error) {
+// RunAll measures every catalog script under one context.
+func (h *Harness) RunAll(ctx context.Context) ([]*ScriptResult, error) {
 	var out []*ScriptResult
 	for _, spec := range Catalog() {
-		r, err := h.RunScript(spec)
+		r, err := h.RunScript(ctx, spec)
 		if err != nil {
 			return out, err
 		}

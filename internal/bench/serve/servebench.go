@@ -100,7 +100,8 @@ type ServeComparison struct {
 // cold-vs-warm request latency, drives warm-request throughput at 1 and
 // N concurrent clients, and verifies a streamed execute against the
 // in-process library. workers <= 0 selects GOMAXPROCS for the engine.
-func Compare(workers int) (*ServeComparison, error) {
+// The context bounds every request of the run.
+func Compare(ctx context.Context, workers int) (*ServeComparison, error) {
 	srv := server.New(server.Config{
 		SynthOptions: kumquat.Options{Seed: 1, Workers: workers},
 	})
@@ -109,11 +110,18 @@ func Compare(workers int) (*ServeComparison, error) {
 		return nil, fmt.Errorf("bench: listen: %w", err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	go hs.Serve(ln) //nolint:errcheck // closed by Shutdown below
+	var serving sync.WaitGroup
+	serving.Add(1)
+	go func() {
+		defer serving.Done()
+		hs.Serve(ln) //nolint:errcheck // closed by Shutdown below
+	}()
+	defer serving.Wait()
+	// Shutdown needs a context that outlives the caller's (a canceled ctx
+	// would abort the graceful close), so it gets a fresh root.
 	defer hs.Shutdown(context.Background())
 
 	c := client.New("http://" + ln.Addr().String())
-	ctx := context.Background()
 	ver, err := c.Version(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("bench: version: %w", err)
@@ -178,7 +186,7 @@ func Compare(workers int) (*ServeComparison, error) {
 		// Round to a whole number of requests per client so every
 		// configuration measures exactly what it reports.
 		requests := serveThroughputRequests / clients * clients
-		wall, err := serveStorm(c, clients, requests)
+		wall, err := serveStorm(ctx, c, clients, requests)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %d clients: %w", clients, err)
 		}
@@ -191,7 +199,7 @@ func Compare(workers int) (*ServeComparison, error) {
 	}
 
 	// Streamed execute vs the in-process library.
-	agree, err := serveExecuteAgree(c)
+	agree, err := serveExecuteAgree(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -204,8 +212,7 @@ func Compare(workers int) (*ServeComparison, error) {
 
 // serveStorm fires requests warm synthesize calls spread over clients
 // concurrent workers and returns the wall time.
-func serveStorm(c *client.Client, clients, requests int) (time.Duration, error) {
-	ctx := context.Background()
+func serveStorm(ctx context.Context, c *client.Client, clients, requests int) (time.Duration, error) {
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
 	start := time.Now()
@@ -234,12 +241,12 @@ func serveStorm(c *client.Client, clients, requests int) (time.Duration, error) 
 
 // serveExecuteAgree streams a word-frequency run through the daemon and
 // compares it to the same pipeline executed in-process.
-func serveExecuteAgree(c *client.Client) (bool, error) {
+func serveExecuteAgree(ctx context.Context, c *client.Client) (bool, error) {
 	input := genWordInput(200)
 	script := "sort | uniq -c | sort -rn"
 
 	var viaServer strings.Builder
-	if _, err := c.Execute(context.Background(), script,
+	if _, err := c.Execute(ctx, script,
 		client.ExecuteOptions{K: 4}, strings.NewReader(input), &viaServer); err != nil {
 		return false, fmt.Errorf("bench: execute via server: %w", err)
 	}
@@ -249,7 +256,7 @@ func serveExecuteAgree(c *client.Client) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("bench: local parallelize: %w", err)
 	}
-	rep, err := plan.Execute(context.Background(),
+	rep, err := plan.Execute(ctx,
 		kumquat.WithParallelism(4), kumquat.WithStdin(strings.NewReader(input)))
 	if err != nil {
 		return false, fmt.Errorf("bench: local execute: %w", err)

@@ -89,12 +89,12 @@ type SynthComparison struct {
 // with a sequential (Workers=1) and a parallel (Workers=workers) engine
 // on cold caches and the results compared; then the four example
 // pipelines are compiled twice through one shared engine to measure the
-// warm-cache path. workers <= 0 selects GOMAXPROCS.
-func CompareSynth(workers int) (*SynthComparison, error) {
+// warm-cache path. workers <= 0 selects GOMAXPROCS. The context bounds
+// every synthesis.
+func CompareSynth(ctx context.Context, workers int) (*SynthComparison, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ctx := context.Background()
 	cmp := &SynthComparison{Workers: workers, CPUs: runtime.NumCPU(), Agree: true}
 
 	for _, spec := range synthBenchSpecs {

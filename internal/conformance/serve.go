@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 
 	"kumquat"
 	"kumquat/internal/server"
@@ -60,7 +61,15 @@ func replayServe(ctx context.Context, sys *kumquat.System, cases []*Case, opts R
 		return nil, fmt.Errorf("conformance: listen: %w", err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	go hs.Serve(ln) //nolint:errcheck // closed by Shutdown below
+	var serving sync.WaitGroup
+	serving.Add(1)
+	go func() {
+		defer serving.Done()
+		hs.Serve(ln) //nolint:errcheck // closed by Shutdown below
+	}()
+	defer serving.Wait()
+	// Shutdown needs a context that outlives the caller's (a canceled ctx
+	// would abort the graceful close), so it gets a fresh root.
 	defer hs.Shutdown(context.Background())
 	c := client.New("http://" + ln.Addr().String())
 

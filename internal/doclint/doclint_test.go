@@ -1,117 +1,31 @@
 package doclint
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"strings"
 	"testing"
+
+	"kumquat/internal/analysis"
+	"kumquat/internal/analysis/docs"
 )
 
-// lintedPackages are the directories whose exported identifiers must all
-// carry doc comments (relative to this package).
-var lintedPackages = []string{
-	"../synth",
-	"../synth/cache",
-	"../dsl",
-	"../server",
-	"../server/client",
-	"../conformance",
-}
-
 // TestDocComments fails for every exported top-level identifier — type,
-// function, method, const or var — in the linted packages that has no doc
-// comment. Group declarations (`const (...)`, `var (...)`) may document
-// the group instead of each member.
+// function, method, const or var — in the enforced packages that has no
+// doc comment. The rules and package list live with the docs analyzer in
+// internal/analysis/docs; this test is the historical doc-lint entry
+// point, now a shim over the analyzer kqvet runs repo-wide.
 func TestDocComments(t *testing.T) {
-	for _, dir := range lintedPackages {
-		for _, miss := range missingDocs(t, dir) {
-			t.Errorf("%s", miss)
-		}
-	}
-}
-
-// missingDocs parses one package directory (tests excluded) and returns a
-// description of every undocumented exported identifier.
-func missingDocs(t *testing.T, dir string) []string {
-	t.Helper()
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
+	pkgs, err := analysis.Load(".", docs.Packages...)
 	if err != nil {
-		t.Fatalf("%s: %v", dir, err)
+		t.Fatalf("loading enforced packages: %v", err)
 	}
-	var out []string
-	report := func(pos token.Pos, kind, name string) {
-		p := fset.Position(pos)
-		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
-			p.Filename, p.Line, kind, name))
+	if len(pkgs) == 0 {
+		t.Fatal("no enforced packages resolved — docs.Packages is stale")
 	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if !d.Name.IsExported() || !exportedReceiver(d) {
-						continue
-					}
-					if d.Doc == nil {
-						kind := "function"
-						if d.Recv != nil {
-							kind = "method"
-						}
-						report(d.Pos(), kind, d.Name.Name)
-					}
-				case *ast.GenDecl:
-					lintGenDecl(d, report)
-				}
-			}
-		}
+	findings, err := analysis.RunAnalyzers(analysis.ModuleRoot("."), pkgs,
+		[]*analysis.Analyzer{docs.Analyzer})
+	if err != nil {
+		t.Fatalf("running docs analyzer: %v", err)
 	}
-	return out
-}
-
-// lintGenDecl checks a type/const/var declaration; a spec is documented
-// if it or its enclosing group carries a comment.
-func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
-	kind := d.Tok.String()
-	for _, spec := range d.Specs {
-		switch s := spec.(type) {
-		case *ast.TypeSpec:
-			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
-				report(s.Pos(), kind, s.Name.Name)
-			}
-		case *ast.ValueSpec:
-			for _, name := range s.Names {
-				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-					report(name.Pos(), kind, name.Name)
-				}
-			}
-		}
-	}
-}
-
-// exportedReceiver reports whether a function is free-standing or a
-// method on an exported type (methods on unexported types are not part
-// of the package's godoc surface).
-func exportedReceiver(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
-	}
-	typ := d.Recv.List[0].Type
-	for {
-		switch t := typ.(type) {
-		case *ast.StarExpr:
-			typ = t.X
-		case *ast.IndexExpr: // generic receiver
-			typ = t.X
-		case *ast.Ident:
-			return t.IsExported()
-		default:
-			return true
-		}
+	for _, f := range findings {
+		t.Errorf("%s", f)
 	}
 }

@@ -153,6 +153,11 @@ func (d *diffCmd) Run(input string) (string, error) {
 	}
 	a, b := clean(textio.Lines(c1)), clean(textio.Lines(c2))
 	var out strings.Builder
+	emit := func(marker string, line string) {
+		out.WriteString(marker)
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -160,18 +165,18 @@ func (d *diffCmd) Run(input string) (string, error) {
 			i++
 			j++
 		case a[i] < b[j]:
-			out.WriteString("< " + a[i] + "\n")
+			emit("< ", a[i])
 			i++
 		default:
-			out.WriteString("> " + b[j] + "\n")
+			emit("> ", b[j])
 			j++
 		}
 	}
 	for ; i < len(a); i++ {
-		out.WriteString("< " + a[i] + "\n")
+		emit("< ", a[i])
 	}
 	for ; j < len(b); j++ {
-		out.WriteString("> " + b[j] + "\n")
+		emit("> ", b[j])
 	}
 	return out.String(), nil
 }
