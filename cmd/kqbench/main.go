@@ -17,6 +17,8 @@
 //	kqbench -bench-serve OUT.json # loopback kumquatd serving comparison:
 //	                              # cold-vs-warm request latency and
 //	                              # 1-vs-N concurrent-client throughput
+//	kqbench -bench-fuse OUT.json  # fused-vs-unfused executor comparison
+//	                              # (wall and allocations at k in {4,32})
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	benchSynth := flag.String("bench-synth", "", "write a sequential-vs-parallel synthesis and cold-vs-warm cache comparison to this JSON file and exit")
 	benchCombine := flag.String("bench-combine", "", "write a fold-vs-tree combine and scan-vs-heap merge comparison to this JSON file and exit")
 	benchServe := flag.String("bench-serve", "", "write a loopback-daemon serving comparison (cold-vs-warm latency, concurrent-client throughput) to this JSON file and exit")
+	benchFuse := flag.String("bench-fuse", "", "write a fused-vs-unfused optimized-executor comparison (streamer-chain pipeline) to this JSON file and exit")
 	combineWorkers := flag.Int("combine-workers", 0, "combine-plane workers for -bench-combine (0 = GOMAXPROCS)")
 	k := flag.Int("k", 8, "parallelism degree for -bench-exec")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool for -bench-synth (0 = GOMAXPROCS)")
@@ -70,6 +73,12 @@ func main() {
 	}
 	if *benchServe != "" {
 		if err := writeBenchServe(ctx, *benchServe, *synthWorkers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchFuse != "" {
+		if err := writeBenchFuse(ctx, *benchFuse, *scale); err != nil {
 			fatal(err)
 		}
 		return
@@ -303,6 +312,32 @@ func writeBenchServe(ctx context.Context, path string, workers int) error {
 		cmp.Workers, cmp.CPUs, cmp.ExecuteAgree, cmp.Agree, path)
 	if !cmp.Agree {
 		return fmt.Errorf("service plane disagrees: warm requests not ≥10× faster memory hits, or execute diverged")
+	}
+	return nil
+}
+
+// writeBenchFuse runs the fused-vs-unfused executor comparison and
+// writes the JSON report, echoing one line per parallelism degree.
+func writeBenchFuse(ctx context.Context, path string, scale int) error {
+	cmp, err := bench.CompareFusion(ctx, scale)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, p := range cmp.Pairs {
+		fmt.Printf("k=%-3d unfused=%8.1f ms (%d allocs)  fused=%8.1f ms (%d allocs)  speedup=%.2fx allocs=%.2fx\n",
+			p.K, p.Unfused.WallMS, p.Unfused.Allocs, p.Fused.WallMS, p.Fused.Allocs,
+			p.Speedup, p.AllocRatio)
+	}
+	fmt.Printf("rewrites=%v agree=%v -> %s\n", cmp.Rewrites, cmp.Agree, path)
+	if !cmp.Agree {
+		return fmt.Errorf("fused executor disagrees with the serial oracle")
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	kqconform -n 100 -seed 1             # full suite, JSON report on stdout
 //	kqconform -n 25 -seed 1 -o CONFORM.json
 //	kqconform -n 50 -shrink=false        # skip failure minimization
+//	kqconform -fail-fast                 # stop and shrink at the first divergence
 //	kqconform -serve=false -adversarial=false
 //
 // The exit status is 0 when every configuration reproduced the serial
@@ -23,14 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"kumquat/internal/conformance"
+	"kumquat/internal/dataflow"
 )
 
 func main() {
 	n := flag.Int("n", 100, "number of generated cases")
 	seed := flag.Int64("seed", 1, "generator seed (same seed + n = same suite)")
 	shrink := flag.Bool("shrink", true, "minimize diverging cases before reporting")
+	failFast := flag.Bool("fail-fast", false, "stop at the first divergence and shrink it immediately")
+	requireRules := flag.Int("require-rules", 0, "fail unless every optimizer rewrite fired at least this many times")
 	serve := flag.Bool("serve", true, "replay the suite through a loopback kumquatd")
 	adversarial := flag.Bool("adversarial", true, "stress-validate combiners on adversarial corpora")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool (0 = GOMAXPROCS)")
@@ -41,6 +47,7 @@ func main() {
 		Seed:         *seed,
 		N:            *n,
 		Shrink:       *shrink,
+		FailFast:     *failFast,
 		Serve:        *serve,
 		Adversarial:  *adversarial,
 		SynthWorkers: *synthWorkers,
@@ -66,7 +73,22 @@ func main() {
 	}
 
 	summary(rep)
-	if !rep.OK {
+	ok := rep.OK
+	if *requireRules > 0 {
+		// A suite that never triggers a rewrite proves nothing about it;
+		// the floor turns "zero divergences" into "zero divergences while
+		// each rule demonstrably ran".
+		for _, rule := range []dataflow.Rule{
+			dataflow.RuleFuseStreamers, dataflow.RuleElideCombine, dataflow.RulePushSortMerge,
+		} {
+			if got := rep.Rewrites[string(rule)]; got < *requireRules {
+				fmt.Fprintf(os.Stderr, "kqconform: rewrite %s fired %d times, need >= %d\n",
+					rule, got, *requireRules)
+				ok = false
+			}
+		}
+	}
+	if !ok {
 		os.Exit(1)
 	}
 }
@@ -81,7 +103,17 @@ func summary(rep *conformance.Report) {
 	if rep.Serve != nil {
 		srv = fmt.Sprintf("%d cases, %d divergences", rep.Serve.Cases, len(rep.Serve.Divergences))
 	}
+	rules := make([]string, 0, len(rep.Rewrites))
+	for r := range rep.Rewrites {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	fired := make([]string, len(rules))
+	for i, r := range rules {
+		fired[i] = fmt.Sprintf("%s=%d", r, rep.Rewrites[r])
+	}
 	fmt.Fprintf(os.Stderr,
-		"kqconform: seed=%d cases=%d configs=%d executions=%d divergences=%d adversarial=[%s] serve=[%s] wall=%.0fms ok=%v\n",
-		rep.Seed, rep.Cases, rep.Configs, rep.Executions, len(rep.Divergences), adv, srv, rep.WallMS, rep.OK)
+		"kqconform: seed=%d cases=%d configs=%d executions=%d divergences=%d rewrites=[%s] adversarial=[%s] serve=[%s] wall=%.0fms ok=%v\n",
+		rep.Seed, rep.Cases, rep.Configs, rep.Executions, len(rep.Divergences),
+		strings.Join(fired, " "), adv, srv, rep.WallMS, rep.OK)
 }

@@ -15,8 +15,10 @@
 //	    input file from the host file system into the in-memory
 //	    environment first). Pipelines without a `cat FILE` source stream
 //	    the process's standard input; output streams to standard output.
-//	    -mode selects the execution configuration and -report prints
-//	    per-stage wall times, byte counts and chunk counts to stderr.
+//	    -mode selects the execution configuration, -fuse=off disables the
+//	    graph-walking fused executor (the stage-at-a-time ablation), and
+//	    -report prints per-stage wall times, byte counts, chunk counts and
+//	    the fired optimizer rewrites to stderr.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -63,7 +66,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   kumquat synth [-synth-workers N] [-synth-cache DIR] '<command>'
   kumquat plan [-synth-workers N] [-synth-cache DIR] '<pipeline>'
-  kumquat run [-k N] [-mode MODE] [-combine-workers N] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
+  kumquat run [-k N] [-mode MODE] [-fuse on|off] [-combine-workers N] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
   kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2
   kumquat version`)
 }
@@ -185,6 +188,7 @@ func runRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	k := fs.Int("k", 8, "parallelism degree")
 	mode := fs.String("mode", "optimized", "execution mode: optimized, unoptimized, serial, pipelined")
+	fuse := fs.String("fuse", "on", "graph-walking fused executor for optimized mode: on, off")
 	combineWorkers := fs.Int("combine-workers", 0,
 		"combine-plane tree-reduction workers (0 = match the chunk pool)")
 	report := fs.Bool("report", false, "print the per-stage execution report to stderr")
@@ -200,6 +204,15 @@ func runRun(args []string) error {
 	m, err := kumquat.ParseMode(*mode)
 	if err != nil {
 		return err
+	}
+	var fuseOn bool
+	switch *fuse {
+	case "on":
+		fuseOn = true
+	case "off":
+		fuseOn = false
+	default:
+		return fmt.Errorf("run: -fuse must be on or off, got %q", *fuse)
 	}
 	env := kumquat.NewEnv()
 	for _, path := range inputs {
@@ -223,6 +236,7 @@ func runRun(args []string) error {
 	rep, err := plan.Execute(ctx,
 		kumquat.WithParallelism(*k),
 		kumquat.WithMode(m),
+		kumquat.WithFuse(fuseOn),
 		kumquat.WithCombineWorkers(*combineWorkers),
 		kumquat.WithStdin(os.Stdin),
 		kumquat.WithOutput(os.Stdout))
@@ -242,10 +256,33 @@ func runRun(args []string) error {
 
 func writeReport(rep *kumquat.RunReport) {
 	w := os.Stderr
-	fmt.Fprintf(w, "mode=%s k=%d wall=%v in=%dB out=%dB\n",
-		rep.Mode, rep.Parallelism, rep.Wall.Round(time.Microsecond), rep.BytesIn, rep.BytesOut)
+	fmt.Fprintf(w, "mode=%s k=%d fused=%v wall=%v in=%dB out=%dB\n",
+		rep.Mode, rep.Parallelism, rep.Fused, rep.Wall.Round(time.Microsecond), rep.BytesIn, rep.BytesOut)
 	fmt.Fprintf(w, "synth cache: %d hits, %d disk hits, %d misses\n",
 		rep.SynthCache.Hits, rep.SynthCache.DiskHits, rep.SynthCache.Misses)
+	if rep.Fused {
+		rules := make([]string, 0, len(rep.Rewrites))
+		for r := range rep.Rewrites {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		fired := make([]string, len(rules))
+		for i, r := range rules {
+			fired[i] = fmt.Sprintf("%s=%d", r, rep.Rewrites[r])
+		}
+		fmt.Fprintf(w, "rewrites: %s\n", strings.Join(fired, " "))
+		for i, rg := range rep.Regions {
+			kind := "single"
+			if rg.Fused {
+				kind = "fused"
+			}
+			detail := ""
+			if len(rg.Rules) > 0 {
+				detail = " rules=" + strings.Join(rg.Rules, ",")
+			}
+			fmt.Fprintf(w, "  region %d: %s stages=%v exit=%s%s\n", i, kind, rg.Stages, rg.Exit, detail)
+		}
+	}
 	for _, st := range rep.Stages {
 		how := "buffered"
 		switch {

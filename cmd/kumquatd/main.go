@@ -11,9 +11,11 @@
 //
 //	POST /v1/synthesize   {"spec": "uniq -c"} → combiner verdict
 //	POST /v1/parallelize  {"script": "...", "files": {...}} → plan summary
-//	POST /v1/execute?script=...&k=8&mode=optimized
+//	POST /v1/execute?script=...&k=8&mode=optimized&fuse=on
 //	                      body streams in as input, stdout streams back,
 //	                      run report arrives in the X-Kumquat-Report trailer
+//	                      (fuse=off pins the stage-at-a-time optimized path;
+//	                      the report names the fired optimizer rewrites)
 //	GET  /v1/version      build info + service limits
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus text exposition

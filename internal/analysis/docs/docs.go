@@ -18,8 +18,8 @@ import (
 )
 
 // Packages lists the enforced import paths: the synthesis-, service- and
-// test-plane-facing packages doclint always covered, plus the
-// static-analysis plane itself.
+// test-plane-facing packages doclint always covered, plus the dataflow
+// optimizer and the static-analysis plane itself.
 var Packages = []string{
 	"kumquat/internal/synth",
 	"kumquat/internal/synth/cache",
@@ -27,6 +27,7 @@ var Packages = []string{
 	"kumquat/internal/server",
 	"kumquat/internal/server/client",
 	"kumquat/internal/conformance",
+	"kumquat/internal/dataflow",
 	"kumquat/internal/analysis/...",
 }
 

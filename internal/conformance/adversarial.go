@@ -3,7 +3,9 @@ package conformance
 import (
 	"context"
 	"fmt"
+	"slices"
 	"strings"
+	"sync"
 
 	"kumquat"
 	"kumquat/internal/dsl"
@@ -25,8 +27,16 @@ type NamedCorpus struct {
 // plus the ones field experience says break stream code — empty input,
 // a missing trailing newline, very long lines, multi-byte content,
 // duplicate keys spanning chunk boundaries, and pre-/reverse-sorted
-// streams (merge's legality boundary).
+// streams (merge's legality boundary). The corpora are immutable fixtures
+// built once per process; repeated stress passes over a shared warm
+// engine share them instead of rebuilding the multi-KB long-line corpus
+// every call.
 func AdversarialCorpora() []NamedCorpus {
+	return slices.Clone(adversarialCorpora())
+}
+
+// adversarialCorpora constructs the fixture set exactly once.
+var adversarialCorpora = sync.OnceValue(func() []NamedCorpus {
 	long := strings.Repeat("loquat kumquat medlar ", 400)
 	return []NamedCorpus{
 		{"empty", ""},
@@ -40,7 +50,7 @@ func AdversarialCorpora() []NamedCorpus {
 		{"reverse-sorted", "h\ng\nf\ne\nd\nc\nb\na\n"},
 		{"numbers", "10\n2\n-3\n2\n700\n0\n10\n33\n"},
 	}
-}
+})
 
 // PathKind selects a recombination strategy for CandidateCheck.
 type PathKind string

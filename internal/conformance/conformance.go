@@ -44,6 +44,10 @@ type Options struct {
 	N int
 	// Shrink minimizes every diverging case before reporting it.
 	Shrink bool
+	// FailFast stops the run at the first diverging case, shrinking its
+	// divergence immediately (even when Shrink is off) so the tightest
+	// repro surfaces without waiting for the rest of the suite.
+	FailFast bool
 	// Serve replays the generated suite through a live loopback kumquatd
 	// and holds the HTTP plane to the same serial oracle.
 	Serve bool
@@ -66,6 +70,11 @@ type Report struct {
 	Configs int `json:"configs"`
 	// Executions counts every plan execution, oracle runs included.
 	Executions int `json:"executions"`
+	// Rewrites counts, per rule, how often the dataflow optimizer's
+	// rewrites fired across the suite's compiled plans — the proof that a
+	// green run actually exercised each fusion rule rather than never
+	// triggering it.
+	Rewrites map[string]int `json:"rewrites"`
 	// Divergences lists every case × configuration whose output differed
 	// from the serial oracle (empty on a healthy tree).
 	Divergences []Divergence `json:"divergences"`
@@ -94,7 +103,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		kumquat.Options{Seed: 1, Workers: opts.SynthWorkers})
 	configs := Configs()
 	rep := &Report{Seed: opts.Seed, Cases: opts.N, Configs: len(configs),
-		Divergences: []Divergence{}}
+		Divergences: []Divergence{}, Rewrites: map[string]int{}}
 	cases := make([]*Case, 0, opts.N)
 	oracles := make([]oracleResult, 0, opts.N)
 	for i := 0; i < opts.N; i++ {
@@ -103,17 +112,27 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}
 		c := GenCase(opts.Seed, i)
 		cases = append(cases, c)
-		divs, execs, oracle, err := runCase(ctx, sys, c, configs)
+		divs, execs, oracle, plan, err := runCase(ctx, sys, c, configs)
 		if err != nil {
 			return nil, fmt.Errorf("conformance: case %d: %w", i, err)
 		}
 		oracles = append(oracles, oracle)
 		rep.Executions += execs
+		for rule, n := range plan.Rewrites() {
+			rep.Rewrites[rule] += n
+		}
 		for _, d := range divs {
-			if opts.Shrink {
+			if opts.Shrink || opts.FailFast {
 				d.Shrunk = ShrinkCase(ctx, sys, c, d.Config)
 			}
 			rep.Divergences = append(rep.Divergences, d)
+			if opts.FailFast {
+				break
+			}
+		}
+		if opts.FailFast && len(rep.Divergences) > 0 {
+			rep.Cases = i + 1
+			break
 		}
 	}
 	if opts.Adversarial {

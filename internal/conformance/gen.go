@@ -64,6 +64,30 @@ func StageTemplates() []string {
 	}
 }
 
+// fusionMotifs are stage runs that each provoke one of the dataflow
+// optimizer's rewrites. The generator splices a motif into about half the
+// cases so a default suite demonstrably exercises every rule — the
+// report's per-rule fire counters prove it — rather than leaving rule
+// coverage to random adjacency.
+var fusionMotifs = [][]string{
+	// fuse-streamers: adjacent parallel concat-class line mappers fuse
+	// into one per-chunk pass.
+	{"tr A-Z a-z", "grep a", "cut -c 1-4"},
+	{`tr -d '[:punct:]'`, "sed 's/a/X/'"},
+	{"rev", "tr a-z A-Z"},
+	// elide-combine: a sort-class (permutation-closed) stage feeding an
+	// order-insensitive reducer; the k-way merge is skipped outright.
+	{"sort", "wc -l"},
+	{"sort -n", "grep -c e"},
+	{"sort -r", "wc"},
+	// push-sort-merge: a sort-class stage feeding a streaming but
+	// order-sensitive line mapper; the merge happens, but lazily inside
+	// the consumer's read loop.
+	{"sort", "grep a"},
+	{"sort -r", "sed 's/a/X/'"},
+	{"sort -n", "cut -c 1-4"},
+}
+
 // vocab is the word pool corpus lines draw from; small enough that
 // duplicate runs (uniq, uniq -c territory) occur naturally.
 var vocab = []string{
@@ -97,8 +121,9 @@ var profiles = []struct {
 }
 
 // GenCase deterministically generates case i of the run with the given
-// seed: a pipeline of 1–4 stages from StageTemplates, a corpus from a
-// randomly chosen profile, and a stdin-vs-`cat FILE` input source.
+// seed: a pipeline of 1–4 stages from StageTemplates — with a fusion
+// motif spliced in about half the time — a corpus from a randomly chosen
+// profile, and a stdin-vs-`cat FILE` input source.
 func GenCase(seed int64, i int) *Case {
 	r := rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x5851F42D4C957F2D))
 	c := &Case{Seed: seed, Index: i}
@@ -127,6 +152,18 @@ func GenCase(seed int64, i int) *Case {
 	}
 	for j := 0; j < n; j++ {
 		stages = append(stages, templates[r.Intn(len(templates))])
+	}
+	if r.Intn(2) == 0 {
+		m := fusionMotifs[r.Intn(len(fusionMotifs))]
+		// Splice after the source (if any), at a random offset among the
+		// random stages, so motifs see arbitrary upstream and downstream
+		// neighbours.
+		at := len(stages) - n + r.Intn(n+1)
+		spliced := make([]string, 0, len(stages)+len(m))
+		spliced = append(spliced, stages[:at]...)
+		spliced = append(spliced, m...)
+		spliced = append(spliced, stages[at:]...)
+		stages = spliced
 	}
 	c.Script = strings.Join(stages, " | ") + "\n"
 	return c
@@ -261,4 +298,3 @@ func genMixed(r *rand.Rand) []string {
 	r.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
 	return lines
 }
-

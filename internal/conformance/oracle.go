@@ -19,13 +19,21 @@ type Config struct {
 	K int `json:"k"`
 	// CombineWorkers bounds the combine plane (0 = default).
 	CombineWorkers int `json:"combine_workers,omitempty"`
+	// NoFuse disables the graph-walking fused executor for optimized-mode
+	// rows, pinning the legacy stage-at-a-time path. Fusion is on by
+	// default, so the plain optimized rows exercise the fused program and
+	// these are the explicit fuse-off ablation.
+	NoFuse bool `json:"no_fuse,omitempty"`
 }
 
 // Configs enumerates the sweep every case runs under: optimized and
 // unoptimized at every worker count in {1, 4, GOMAXPROCS}, each mode
-// once more with the combine plane forced serial at the widest k, and
-// the pipelined (T_orig) configuration. The serial oracle is run
-// separately and is not part of the sweep.
+// once more with the combine plane forced serial at the widest k,
+// optimized fuse-off ablation rows at every worker count (the plain
+// optimized rows run the fused dataflow program, so fused and unfused
+// executions are both held to the oracle), and the pipelined (T_orig)
+// configuration. The serial oracle is run separately and is not part of
+// the sweep.
 func Configs() []Config {
 	ks := workerCounts()
 	widest := ks[0]
@@ -40,6 +48,9 @@ func Configs() []Config {
 			out = append(out, Config{Mode: mode.String(), K: k})
 		}
 		out = append(out, Config{Mode: mode.String(), K: widest, CombineWorkers: 1})
+	}
+	for _, k := range ks {
+		out = append(out, Config{Mode: kumquat.Optimized.String(), K: k, NoFuse: true})
 	}
 	out = append(out, Config{Mode: kumquat.Pipelined.String(), K: 1})
 	return out
@@ -74,17 +85,18 @@ type oracleResult struct {
 // divergences and the number of executions performed (oracle included).
 // A compile error is a generator bug and is returned as err.
 func RunCase(ctx context.Context, sys *kumquat.System, c *Case, configs []Config) ([]Divergence, int, error) {
-	divs, execs, _, err := runCase(ctx, sys, c, configs)
+	divs, execs, _, _, err := runCase(ctx, sys, c, configs)
 	return divs, execs, err
 }
 
-// runCase is RunCase plus the oracle outcome, so callers that diff
-// further planes against the same case (the serve replay) reuse it
-// instead of re-running the serial execution.
-func runCase(ctx context.Context, sys *kumquat.System, c *Case, configs []Config) ([]Divergence, int, oracleResult, error) {
+// runCase is RunCase plus the oracle outcome and the compiled plan, so
+// callers that diff further planes against the same case (the serve
+// replay) reuse the oracle instead of re-running the serial execution,
+// and Run aggregates the plan's optimizer fire counters into the report.
+func runCase(ctx context.Context, sys *kumquat.System, c *Case, configs []Config) ([]Divergence, int, oracleResult, *kumquat.Plan, error) {
 	plan, err := compileCase(ctx, sys, c)
 	if err != nil {
-		return nil, 0, oracleResult{}, err
+		return nil, 0, oracleResult{}, nil, err
 	}
 	want, wantErr := execCase(ctx, plan, c, Config{Mode: kumquat.Serial.String(), K: 1})
 	oracle := oracleResult{out: want, err: wantErr}
@@ -94,13 +106,13 @@ func runCase(ctx context.Context, sys *kumquat.System, c *Case, configs []Config
 		got, gotErr := execCase(ctx, plan, c, cfg)
 		execs++
 		if err := ctx.Err(); err != nil {
-			return nil, execs, oracle, err
+			return nil, execs, oracle, plan, err
 		}
 		if detail, ok := diverges(want, wantErr, got, gotErr); !ok {
 			divs = append(divs, Divergence{Case: c.forReport(), Config: cfg, Detail: detail})
 		}
 	}
-	return divs, execs, oracle, nil
+	return divs, execs, oracle, plan, nil
 }
 
 // compileCase parallelizes the case's script in a private environment
@@ -128,6 +140,9 @@ func execCase(ctx context.Context, plan *kumquat.Plan, c *Case, cfg Config) (str
 	}
 	if cfg.CombineWorkers > 0 {
 		opts = append(opts, kumquat.WithCombineWorkers(cfg.CombineWorkers))
+	}
+	if cfg.NoFuse {
+		opts = append(opts, kumquat.WithFuse(false))
 	}
 	if c.Source == "" {
 		opts = append(opts, kumquat.WithStdin(strings.NewReader(c.Corpus)))

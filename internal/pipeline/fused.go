@@ -1,0 +1,289 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kumquat/internal/dataflow"
+	"kumquat/internal/textio"
+	"kumquat/internal/unix"
+)
+
+// RegionMetrics records one optimizer region's execution in the fused
+// graph-walking mode: which stages it covered, how it ran, and the
+// region-level combine share — the per-region CombineWall the fused
+// executor reports instead of per-stage figures (inside a fused region
+// there is no per-stage combine to measure; the rewrite removed it).
+type RegionMetrics struct {
+	// Stages holds the member stage indices, in pipeline order.
+	Stages []int
+	// Fused marks multi-stage regions run as one composed per-chunk pass.
+	Fused bool
+	// Exit names the region's output disposition (combine, split, concat,
+	// merge-stream).
+	Exit string
+	// Rules names the optimizer rewrites that fired on this region.
+	Rules []string
+	// Wall is the region's wall-clock activity time.
+	Wall time.Duration
+	// CombineWall is the share of Wall spent recombining the region's
+	// chunk outputs (zero when the exit elided or deferred the combine).
+	CombineWall time.Duration
+	// BytesIn and BytesOut measure the region's stream volume.
+	BytesIn, BytesOut int64
+	// Chunks is the number of parallel instances the region ran as.
+	Chunks int
+	// Streamed marks regions that consumed a lazily merged stream
+	// incrementally instead of running chunk-parallel.
+	Streamed bool
+}
+
+// RunInfo is the fused executor's run report, filled in when an Execute
+// call carries a WithRunInfo option: whether the graph-walking mode ran,
+// which rewrites its program applied, and the per-region metrics.
+type RunInfo struct {
+	// Fused reports that the graph-walking fused mode executed the plan
+	// (false when fusion was disabled, the mode was not Optimized, or a
+	// live external stdin forced the legacy streaming path).
+	Fused bool
+	// Rewrites counts the optimizer rewrites applied by the program that
+	// ran, per rule name.
+	Rewrites map[string]int
+	// Regions holds one entry per optimizer region, in order.
+	Regions []RegionMetrics
+}
+
+// WithFuse toggles the graph-walking fused executor for optimized-mode
+// runs (default on). Off reproduces the legacy stage-at-a-time optimized
+// path — the -fuse=off ablation the benchmarks and the conformance plane
+// compare against.
+func WithFuse(on bool) ExecOpt {
+	return func(ex *executor) { ex.fuse = on }
+}
+
+// WithRunInfo directs the executor to fill info with the fused run's
+// region metrics and applied rewrites.
+func WithRunInfo(info *RunInfo) ExecOpt {
+	return func(ex *executor) { ex.runInfo = info }
+}
+
+// regionRun returns the region's executable: the composed fused mapper,
+// or the single member stage's command.
+func regionRun(p *Plan, r *dataflow.Region) unix.Command {
+	if r.Fused {
+		return r.Mapper
+	}
+	return p.Stages[r.Nodes[0]].Cmd
+}
+
+// runRegionChunks executes the region's command on each chunk
+// concurrently, bounded by the shared worker pool (the fused analogue of
+// runChunks).
+func (ex *executor) runRegionChunks(cmd unix.Command, chunks []string) ([]string, error) {
+	outs := make([]string, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i := range chunks {
+		if err := ex.pool.acquire(ex.ctx); err != nil {
+			errs[i] = err
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer ex.pool.release()
+			outs[i], errs[i] = cmd.Run(chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stage %q chunk %d: %w", cmd.Spec(), i, err)
+		}
+	}
+	return outs, nil
+}
+
+// runGraph is the graph-walking fused executor: it walks the optimized
+// program region by region, running fused regions chunk-parallel end to
+// end. The stream is materialized, split across chunk views, or a lazy
+// merge reader, according to the previous region's exit; there is no live
+// external source on this path (Execute falls back to the legacy
+// streaming executor for those).
+func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMetrics, error) {
+	prog := p.Program
+	metrics := make([]StageMetrics, len(p.Stages))
+	for i, sp := range p.Stages {
+		metrics[i].Spec = sp.Spec
+	}
+	info := ex.runInfo
+	if info != nil {
+		info.Fused = true
+		info.Rewrites = make(map[string]int, len(prog.Fired))
+		for r, n := range prog.Fired {
+			info.Rewrites[string(r)] = n
+		}
+	}
+
+	var data string
+	if p.InputFile != "" {
+		d, err := ex.env.FS.Read(p.InputFile)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+	} else if stdin != nil {
+		buf, err := io.ReadAll(unix.ContextReader(ex.ctx, stdin))
+		if err != nil {
+			return nil, err
+		}
+		data = textio.View(buf)
+	}
+
+	var (
+		chunks []string  // non-nil while a split exit left the stream split
+		lazy   io.Reader // non-nil while a merge-stream exit left it lazy
+	)
+	for ri, r := range prog.Regions {
+		if err := ex.ctx.Err(); err != nil {
+			return metrics, err
+		}
+		rm := RegionMetrics{
+			Fused:  r.Fused,
+			Exit:   r.Exit.String(),
+			Stages: append([]int(nil), r.Nodes...),
+		}
+		for _, rule := range r.Rules {
+			rm.Rules = append(rm.Rules, string(rule))
+		}
+		cmd := regionRun(p, r)
+		last := ri == len(prog.Regions)-1
+		start := time.Now()
+		switch {
+		case lazy != nil:
+			// A merge-stream exit: consume the lazy k-way merge
+			// incrementally (the optimizer guarantees this region
+			// streams) and materialize the region's own output. Any
+			// further exit is moot — the output is the true stream.
+			rm.Streamed = true
+			var sb strings.Builder
+			var bytesIn atomic.Int64
+			counted := &countReader{r: unix.ContextReader(ex.ctx, lazy), n: &bytesIn}
+			if err := unix.Exec(ex.ctx, cmd, counted, &sb); err != nil {
+				return metrics, fmt.Errorf("pipeline: stage %q: %w", cmd.Spec(), err)
+			}
+			rm.BytesIn = bytesIn.Load()
+			data, lazy = sb.String(), nil
+			rm.BytesOut = int64(len(data))
+		case chunks != nil:
+			// A split exit: the chunk views feed this (parallel) region
+			// directly, no re-split.
+			rm.BytesIn = totalLen(chunks)
+			outs, err := ex.runRegionChunks(cmd, chunks)
+			if err != nil {
+				return metrics, err
+			}
+			rm.Chunks = len(chunks)
+			chunks = nil
+			if err := ex.regionExit(p, r, last, outs, &rm, &data, &chunks, &lazy); err != nil {
+				return metrics, err
+			}
+		default:
+			rm.BytesIn = int64(len(data))
+			if r.Parallel && ex.k > 1 {
+				outs, err := ex.runRegionChunks(cmd, textio.ChunkLines(data, ex.k))
+				if err != nil {
+					return metrics, err
+				}
+				rm.Chunks = ex.k
+				if err := ex.regionExit(p, r, last, outs, &rm, &data, &chunks, &lazy); err != nil {
+					return metrics, err
+				}
+			} else {
+				next, err := cmd.Run(data)
+				if err != nil {
+					return metrics, fmt.Errorf("pipeline: stage %q: %w", cmd.Spec(), err)
+				}
+				data = next
+				rm.BytesOut = int64(len(data))
+			}
+		}
+		rm.Wall = time.Since(start)
+		ex.attribute(metrics, r, &rm)
+		if info != nil {
+			info.Regions = append(info.Regions, rm)
+		}
+	}
+	if chunks != nil {
+		return metrics, errSplitFinal
+	}
+	if lazy != nil {
+		// Defensive: the optimizer never ends a program on a merge-stream
+		// exit, but draining keeps the invariant local.
+		if _, err := io.Copy(out, unix.ContextReader(ex.ctx, lazy)); err != nil {
+			return metrics, err
+		}
+		return metrics, nil
+	}
+	_, err := io.WriteString(out, data)
+	return metrics, err
+}
+
+// regionExit applies the region's exit to its chunk outputs, updating the
+// stream state (exactly one of data/chunks/lazy becomes current).
+func (ex *executor) regionExit(p *Plan, r *dataflow.Region, last bool, outs []string, rm *RegionMetrics, data *string, chunks *[]string, lazy *io.Reader) error {
+	exit := r.Exit
+	if last {
+		exit = dataflow.ExitCombine
+	}
+	switch exit {
+	case dataflow.ExitSplit:
+		*chunks = outs
+		rm.BytesOut = totalLen(outs)
+	case dataflow.ExitConcat:
+		*data = strings.Join(outs, "")
+		rm.BytesOut = int64(len(*data))
+	case dataflow.ExitMerge:
+		sc, ok := p.Stages[r.Nodes[len(r.Nodes)-1]].Cmd.(*unix.SortCmd)
+		if !ok {
+			return fmt.Errorf("pipeline: merge-stream exit on non-sort stage %q", r.Exit)
+		}
+		*lazy = sc.MergeReader(outs...)
+		rm.BytesOut = totalLen(outs)
+	default:
+		sp := p.Stages[r.Nodes[len(r.Nodes)-1]]
+		var scratch StageMetrics
+		combined, err := ex.combine(sp, outs, &scratch)
+		if err != nil {
+			return err
+		}
+		rm.CombineWall = scratch.CombineWall
+		*data = combined
+		rm.BytesOut = int64(len(combined))
+	}
+	return nil
+}
+
+// attribute maps region metrics onto the per-stage metrics slice: shared
+// figures (chunks, streamed) go to every member, stream volumes to the
+// boundary stages, and the region wall to the first member — per-stage
+// walls inside a fused region do not exist, which is the point of the
+// fusion.
+func (ex *executor) attribute(metrics []StageMetrics, r *dataflow.Region, rm *RegionMetrics) {
+	for _, id := range r.Nodes {
+		metrics[id].Chunks = rm.Chunks
+		metrics[id].Streamed = rm.Streamed
+	}
+	first, last := r.Nodes[0], r.Nodes[len(r.Nodes)-1]
+	metrics[first].Wall = rm.Wall
+	metrics[first].BytesIn = rm.BytesIn
+	metrics[last].BytesOut = rm.BytesOut
+	metrics[last].CombineWall = rm.CombineWall
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"kumquat/internal/dataflow"
 	"kumquat/internal/synth"
 	"kumquat/internal/synth/cache"
 	"kumquat/internal/textio"
@@ -39,6 +40,11 @@ type Plan struct {
 	// attributed per stage-synthesis call (exact under concurrent use of
 	// the shared engine, unlike a windowed Stats delta).
 	SynthStats cache.Stats
+	// Graph is the pipeline lowered into the order-aware dataflow IR, and
+	// Program is the optimizer's region sequence over it — the fused
+	// executor's input (stream.go's graph-walking mode).
+	Graph   *dataflow.Graph
+	Program *dataflow.Program
 }
 
 // Compile synthesizes a combiner for every stage and applies the paper's
@@ -93,8 +99,33 @@ func CompileContext(ctx context.Context, p *Pipeline, eng *synth.Engine) (*Plan,
 			cur.Eliminated = true
 		}
 	}
+	plan.lower(dataflow.Options{})
 	return plan, nil
 }
+
+// lower builds the plan's dataflow IR and optimized program. Compile runs
+// it with default options; tests re-lower with ablation or
+// deliberately-unsound options to pin the optimizer's behaviour.
+func (p *Plan) lower(opts dataflow.Options) {
+	stages := make([]dataflow.Stage, len(p.Stages))
+	for i, sp := range p.Stages {
+		stages[i] = dataflow.Stage{
+			Spec:         sp.Spec,
+			Cmd:          sp.Cmd,
+			Synth:        sp.Synth,
+			Parallel:     sp.Parallel,
+			Sequential:   sp.Sequential,
+			StreamOutput: sp.StreamOutput,
+		}
+	}
+	p.Graph = dataflow.Build(p.InputFile, stages)
+	p.Program = dataflow.Optimize(p.Graph, opts)
+}
+
+// Relower rebuilds the plan's optimized program under explicit optimizer
+// options (ablating rules, or the deliberately-unsound legality knobs the
+// conformance regression tests use).
+func (p *Plan) Relower(opts dataflow.Options) { p.lower(opts) }
 
 // probeStreamOutput checks Theorem 5's precondition on sample inputs: the
 // command must produce newline-terminated (or empty) output.

@@ -219,6 +219,12 @@ type executor struct {
 	// combine plane). It defaults to the chunk pool's size so combine
 	// parallelism matches execution parallelism.
 	combineWorkers int
+	// fuse enables the graph-walking fused executor for optimized-mode
+	// runs over materialized sources (default on; see WithFuse).
+	fuse bool
+	// runInfo, when non-nil, receives the fused run's region metrics and
+	// applied rewrites (see WithRunInfo).
+	runInfo *RunInfo
 }
 
 // ExecOpt tunes one Execute call beyond the mode/k pair.
@@ -274,6 +280,7 @@ func (p *Plan) Execute(ctx context.Context, env *unix.Env, stdin io.Reader, out 
 		external:       p.InputFile == "" && stdin != nil && !inMemoryReader(stdin),
 		pool:           newWorkerPool(poolSize),
 		combineWorkers: poolSize,
+		fuse:           true,
 	}
 	for _, opt := range opts {
 		opt(ex)
@@ -284,9 +291,16 @@ func (p *Plan) Execute(ctx context.Context, env *unix.Env, stdin io.Reader, out 
 	case ModeSerial, ModeUnoptimized:
 		ms, err = ex.runBarriered(p, stdin, out, mode == ModeUnoptimized)
 	case ModeOptimized:
-		// runOptimized resolves its own source: file inputs stay
-		// materialized strings rather than round-tripping through a reader.
-		ms, err = ex.runOptimized(p, stdin, out)
+		// The fused graph-walking mode handles every materialized source;
+		// a live external stdin keeps the legacy streaming path so the
+		// bounded-memory property survives. Either way the resolved source
+		// stays a materialized string rather than round-tripping through a
+		// reader.
+		if ex.fuse && p.Program != nil && !ex.external {
+			ms, err = ex.runGraph(p, stdin, out)
+		} else {
+			ms, err = ex.runOptimized(p, stdin, out)
+		}
 	case ModePipelined:
 		var src io.Reader
 		if src, err = p.sourceReader(env, stdin); err == nil {

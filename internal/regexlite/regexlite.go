@@ -58,6 +58,36 @@ type Regexp struct {
 	seq     []node
 	ngroups int
 	icase   bool
+
+	// lit is the whole pattern as a plain string when it is a pure
+	// literal (only single-occurrence nLit nodes, no anchors): find then
+	// reduces to strings.Index. firstLit holds the pattern's required
+	// first byte when the sequence opens with a single-occurrence
+	// literal, letting find skip candidate start positions bytewise.
+	lit         string
+	isLit       bool
+	firstLit    byte
+	hasFirstLit bool
+}
+
+// analyze derives the literal fast-path fields from the parsed sequence.
+// Case-insensitive patterns keep the general path: the fast paths are
+// exact-byte.
+func (re *Regexp) analyze() {
+	if re.icase || len(re.seq) == 0 {
+		return
+	}
+	if n := re.seq[0]; n.kind == nLit && n.q == qOne {
+		re.firstLit, re.hasFirstLit = n.lit, true
+	}
+	var b strings.Builder
+	for _, n := range re.seq {
+		if n.kind != nLit || n.q != qOne {
+			return
+		}
+		b.WriteByte(n.lit)
+	}
+	re.lit, re.isLit = b.String(), true
 }
 
 // Compile parses a BRE pattern.
@@ -70,7 +100,9 @@ func Compile(pattern string) (*Regexp, error) {
 	if p.pos != len(p.src) {
 		return nil, fmt.Errorf("regexlite: %q: unexpected %q at %d", pattern, p.src[p.pos], p.pos)
 	}
-	return &Regexp{pattern: pattern, seq: seq, ngroups: p.ngroups}, nil
+	re := &Regexp{pattern: pattern, seq: seq, ngroups: p.ngroups}
+	re.analyze()
+	return re, nil
 }
 
 // CompileFold parses a BRE pattern for case-insensitive (ASCII) matching.
@@ -80,6 +112,9 @@ func CompileFold(pattern string) (*Regexp, error) {
 		return nil, err
 	}
 	re.icase = true
+	// The exact-byte fast paths do not fold; drop them.
+	re.lit, re.isLit = "", false
+	re.firstLit, re.hasFirstLit = 0, false
 	return re, nil
 }
 
@@ -523,9 +558,30 @@ func (mm Match) Group(input string, i int) string {
 // backtracking budget is shared across all start positions of the call so
 // pathological patterns degrade to a non-match instead of hanging.
 func (re *Regexp) find(input string, from int) (Match, bool) {
+	if re.isLit {
+		i := strings.Index(input[from:], re.lit)
+		if i < 0 {
+			return Match{}, false
+		}
+		m := Match{Start: from + i, End: from + i + len(re.lit)}
+		for i := range m.Caps {
+			m.Caps[i] = [2]int{-1, -1}
+		}
+		m.Caps[0] = [2]int{m.Start, m.End}
+		return m, true
+	}
 	budget := defaultBudget
+	m := &matchState{input: input, icase: re.icase, budget: &budget}
 	for start := from; start <= len(input); start++ {
-		m := &matchState{input: input, icase: re.icase, budget: &budget}
+		if re.hasFirstLit {
+			// The match must open with this byte; skip ahead to its next
+			// occurrence instead of attempting every position.
+			j := strings.IndexByte(input[start:], re.firstLit)
+			if j < 0 {
+				break
+			}
+			start += j
+		}
 		for i := range m.caps {
 			m.caps[i] = [2]int{-1, -1}
 		}

@@ -95,6 +95,15 @@ type ExecuteReport struct {
 	Stages []ExecuteStage `json:"stages"`
 	// SynthCache is the compile-time combiner-cache activity.
 	SynthCache kumquat.SynthCacheStats `json:"synth_cache"`
+	// Fused reports that the graph-walking fused executor ran (optimized
+	// mode with fuse=on and a materialized source).
+	Fused bool `json:"fused,omitempty"`
+	// Rewrites counts the dataflow-optimizer rewrites the fused run
+	// applied, per rule name; omitted when the fused executor did not run.
+	Rewrites map[string]int `json:"rewrites,omitempty"`
+	// Regions carries the fused run's per-region execution measurements;
+	// omitted when the fused executor did not run.
+	Regions []ExecuteRegion `json:"regions,omitempty"`
 }
 
 // ExecuteStage is one stage's slice of an ExecuteReport.
@@ -108,6 +117,24 @@ type ExecuteStage struct {
 	CombineWallMS float64 `json:"combine_wall_ms"`
 	BytesIn       int64   `json:"bytes_in"`
 	BytesOut      int64   `json:"bytes_out"`
+}
+
+// ExecuteRegion is one optimizer region's slice of a fused run's
+// ExecuteReport: the member stages, the rewrites that shaped the region,
+// and its region-level metrics (inside a fused region per-stage combine
+// walls do not exist, so CombineWallMS lives here).
+type ExecuteRegion struct {
+	Pipeline      int      `json:"pipeline"`
+	Stages        []int    `json:"stages"`
+	Fused         bool     `json:"fused"`
+	Exit          string   `json:"exit"`
+	Rules         []string `json:"rules,omitempty"`
+	Streamed      bool     `json:"streamed,omitempty"`
+	Chunks        int      `json:"chunks"`
+	WallMS        float64  `json:"wall_ms"`
+	CombineWallMS float64  `json:"combine_wall_ms"`
+	BytesIn       int64    `json:"bytes_in"`
+	BytesOut      int64    `json:"bytes_out"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.

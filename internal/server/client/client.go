@@ -78,6 +78,10 @@ type ExecuteOptions struct {
 	K int
 	// CombineWorkers bounds the combine plane; 0 = server default.
 	CombineWorkers int
+	// Fuse selects the optimized-mode executor: "" = server default (on),
+	// "on" the graph-walking fused program, "off" the stage-at-a-time
+	// ablation.
+	Fuse string
 }
 
 // Execute runs a script on the server: stdin streams up as the request
@@ -94,6 +98,9 @@ func (c *Client) Execute(ctx context.Context, script string, opts ExecuteOptions
 	}
 	if opts.CombineWorkers > 0 {
 		q.Set("combine-workers", strconv.Itoa(opts.CombineWorkers))
+	}
+	if opts.Fuse != "" {
+		q.Set("fuse", opts.Fuse)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+"/v1/execute?"+q.Encode(), stdin)

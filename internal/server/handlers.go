@@ -121,7 +121,7 @@ func (s *Server) handleParallelize(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleExecute serves POST /v1/execute: the script comes in query
-// parameters (script, k, mode, combine-workers), the request body
+// parameters (script, k, mode, fuse, combine-workers), the request body
 // streams in as the pipeline's input, stdout streams back as the
 // response body, and the RunReport arrives as the X-Kumquat-Report
 // trailer once the stream ends. The request body binds to the script's
@@ -159,6 +159,18 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		combineWorkers = n
+	}
+	fuse := true
+	if fs := q.Get("fuse"); fs != "" {
+		switch fs {
+		case "on":
+			fuse = true
+		case "off":
+			fuse = false
+		default:
+			writeError(w, http.StatusBadRequest, "fuse must be on or off")
+			return
+		}
 	}
 	release := s.admit(w, r)
 	if release == nil {
@@ -205,6 +217,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	rep, err := plan.Execute(r.Context(),
 		kumquat.WithParallelism(k),
 		kumquat.WithMode(mode),
+		kumquat.WithFuse(fuse),
 		kumquat.WithCombineWorkers(combineWorkers),
 		kumquat.WithStdin(stdin),
 		kumquat.WithOutput(fw))
@@ -246,6 +259,25 @@ func executeReport(rep *kumquat.RunReport) ExecuteReport {
 			BytesIn:       st.BytesIn,
 			BytesOut:      st.BytesOut,
 		})
+	}
+	if rep.Fused {
+		out.Fused = true
+		out.Rewrites = rep.Rewrites
+		for _, rg := range rep.Regions {
+			out.Regions = append(out.Regions, ExecuteRegion{
+				Pipeline:      rg.Pipeline,
+				Stages:        rg.Stages,
+				Fused:         rg.Fused,
+				Exit:          rg.Exit,
+				Rules:         rg.Rules,
+				Streamed:      rg.Streamed,
+				Chunks:        rg.Chunks,
+				WallMS:        ms(rg.Wall),
+				CombineWallMS: ms(rg.CombineWall),
+				BytesIn:       rg.BytesIn,
+				BytesOut:      rg.BytesOut,
+			})
+		}
 	}
 	return out
 }

@@ -1,0 +1,90 @@
+package unix
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEmitLineAgreesWithMapLine: for every LineEmitter command, the
+// zero-allocation EmitLine path must produce exactly MapLine's lines.
+// Emitted strings are transient views, so the comparison clones them at
+// emit time, as the contract requires.
+func TestEmitLineAgreesWithMapLine(t *testing.T) {
+	specs := []string{
+		"cat", "rev", "grep light", "grep -v light", "grep 'l.*t'",
+		`sed 's/a/X/'`, `sed 's/a/X/g'`, `sed 's/l\(.\)/[\1]/'`,
+		"cut -c 1-4", "cut -c 1,3-5,9-", "cut -d ' ' -f 2",
+		"cut -d ' ' -f 1,3", "tr a-z A-Z", "tr -d aeiou", "tr ' ' '\\n'",
+		"tr -c 'a-z \\n' x",
+	}
+	lines := []string{
+		"light a light", "DARK bb", "", "x", "a,b,c d", "the quick fox",
+		"no-delims-here", "  leading and trailing  ", "aaaa",
+	}
+	for _, spec := range specs {
+		cmd, err := Parse(spec, nil)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		le, ok := AsLineEmitter(cmd)
+		if !ok {
+			t.Errorf("%q should be a LineEmitter", spec)
+			continue
+		}
+		var scratch []byte
+		for _, line := range lines {
+			want := le.MapLine(line)
+			var got []string
+			le.EmitLine(line, &scratch, func(out string) {
+				got = append(got, strings.Clone(out))
+			})
+			if len(got) != len(want) {
+				t.Errorf("%q on %q: EmitLine %q != MapLine %q", spec, line, got, want)
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%q on %q: EmitLine[%d] = %q, MapLine %q", spec, line, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEmitterGating: flag combinations that break line-independence must
+// not surface as emitters, exactly as they do not surface as mappers.
+func TestEmitterGating(t *testing.T) {
+	for _, spec := range []string{"tr -s ' '", "grep -c light", "sed 5q", "wc -l", "sort"} {
+		cmd, err := Parse(spec, nil)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if _, ok := AsLineEmitter(cmd); ok {
+			t.Errorf("%q must not be a LineEmitter", spec)
+		}
+	}
+}
+
+// TestEmitLineScratchReuse: the same scratch carried across calls must
+// not corrupt earlier output when the receiver copies at emit time, and
+// unchanged lines must be emitted as the input string itself (no copy).
+func TestEmitLineScratchReuse(t *testing.T) {
+	cmd, _ := Parse("tr a-z A-Z", nil)
+	le, _ := AsLineEmitter(cmd)
+	var scratch []byte
+	var got []string
+	for _, line := range []string{"abc", "XYZ", "mixedCASE"} {
+		le.EmitLine(line, &scratch, func(out string) {
+			got = append(got, strings.Clone(out))
+		})
+	}
+	if want := []string{"ABC", "XYZ", "MIXEDCASE"}; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("scratch reuse produced %q, want %q", got, want)
+	}
+	in := "ALREADY UPPER"
+	le.EmitLine(in, &scratch, func(out string) {
+		if out != in {
+			t.Errorf("unchanged line emitted as %q", out)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package unix
+
+// OrderInsensitive is the optional capability interface behind the dataflow
+// optimizer's combine-elision rule: a command may declare that its output
+// depends only on the multiset of input lines, not their order. The
+// declaration must hold byte-for-byte — "same lines, any order" has to
+// produce the identical output stream — because the optimizer uses it to
+// feed a permutation of the true stream (the plain concatenation of chunk
+// outputs) into the command in place of the combined stream.
+type OrderInsensitive interface {
+	Command
+	// OrderInsensitive reports the property for the command's exact flag
+	// set; flag-dependent commands (grep -c vs grep, sort vs sort -u -n)
+	// answer per instance.
+	OrderInsensitive() bool
+}
+
+// IsOrderInsensitive probes the capability: false for every command that
+// does not declare it (the conservative default — order sensitivity is
+// assumed unless proven otherwise).
+func IsOrderInsensitive(c Command) bool {
+	if oi, ok := c.(OrderInsensitive); ok {
+		return oi.OrderInsensitive()
+	}
+	return false
+}
+
+// OrderInsensitive reports when sorting ignores input order. Sorting is
+// stable, so ties in the comparator surface input order — but the
+// comparator's last-resort bytewise comparison makes ties possible only
+// between identical lines, whose relative order is unobservable. The
+// exceptions are -m (merge mode requires already-ordered input, so input
+// order is semantics) and -u with a partial key (-n, -f or -k): there the
+// last resort is suppressed, equal keys can hold distinct lines, and dedup
+// keeps whichever came first. Plain sort -u stays insensitive: its key is
+// the whole line, so equal keys are identical lines.
+func (s *SortCmd) OrderInsensitive() bool {
+	if s.Merge {
+		return false
+	}
+	if s.Unique && (s.Numeric || s.Fold || s.Key > 0) {
+		return false
+	}
+	return true
+}
+
+// OrderInsensitive: wc counts newlines, whitespace-separated words and
+// bytes — all invariant under reordering the (newline-terminated) lines of
+// the stream.
+func (w *wcCmd) OrderInsensitive() bool { return true }
+
+// OrderInsensitive: grep -c emits one count of matching lines; the
+// filtering modes echo lines in input order and stay order-sensitive.
+func (g *grepCmd) OrderInsensitive() bool { return g.count }

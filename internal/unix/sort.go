@@ -3,6 +3,7 @@ package unix
 import (
 	"container/heap"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -381,6 +382,65 @@ func (s *SortCmd) MergeStreams(streams ...string) string {
 		}
 	}
 	return buf.String()
+}
+
+// mergeReader is the lazy form of MergeStreams: an io.Reader that produces
+// the merged stream on demand, so a downstream streaming stage can consume
+// the k-way merge without the combined stream ever being materialized (the
+// dataflow optimizer's push-sort-merge rewrite).
+type mergeReader struct {
+	h mergeHeap
+	// buf holds merged-but-unread bytes; Read drains it before advancing
+	// the heap again.
+	buf  []byte
+	last string
+	have bool
+}
+
+// MergeReader returns a reader over the k-way merge of pre-sorted streams
+// under this comparator. The bytes read are exactly MergeStreams(streams...)
+// — same heap, same tie stability, same -u dedup — but produced
+// incrementally: each Read advances the merge front just far enough to fill
+// the caller's buffer.
+func (s *SortCmd) MergeReader(streams ...string) io.Reader {
+	mr := &mergeReader{h: mergeHeap{s: s, cs: make([]mergeCursor, 0, len(streams))}}
+	for i, st := range streams {
+		if c, ok := newMergeCursor(st, i); ok {
+			mr.h.cs = append(mr.h.cs, c)
+		}
+	}
+	heap.Init(&mr.h)
+	return mr
+}
+
+func (mr *mergeReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(mr.buf) == 0 {
+			if mr.h.Len() == 0 {
+				if n == 0 {
+					return 0, io.EOF
+				}
+				return n, nil
+			}
+			line := mr.h.cs[0].line()
+			if !mr.h.s.Unique || !mr.have || !mr.h.s.EqualKey(mr.last, line) {
+				mr.buf = append(mr.buf[:0], line...)
+				mr.buf = append(mr.buf, '\n')
+				mr.last, mr.have = line, true
+			}
+			if mr.h.cs[0].advance() {
+				heap.Fix(&mr.h, 0)
+			} else {
+				heap.Pop(&mr.h)
+			}
+			continue
+		}
+		c := copy(p[n:], mr.buf)
+		mr.buf = mr.buf[c:]
+		n += c
+	}
+	return n, nil
 }
 
 // MergeStreamsScan is the pre-heap merge: a per-line linear scan over all

@@ -26,6 +26,7 @@ type trCmd struct {
 	translated [256]bool // true when the byte is replaced by translate
 	deleteSet  [256]bool
 	squeezeSet [256]bool
+	affected   [256]bool // deleted or translated to a different byte
 	hasXlate   bool
 }
 
@@ -127,6 +128,10 @@ func (t *trCmd) compile() {
 				t.squeezeSet[c] = true
 			}
 		}
+	}
+	for c := 0; c < 256; c++ {
+		t.affected[c] = t.deleteSet[c] ||
+			(t.translated[c] && t.translate[c] != byte(c))
 	}
 }
 

@@ -237,6 +237,24 @@ func (p *Plan) Counts() (parallelized, total, eliminated int) {
 // was compiled (the same figures RunReport.SynthCache carries).
 func (p *Plan) SynthCache() SynthCacheStats { return p.synthStats }
 
+// Rewrites counts, per rule name, the dataflow-optimizer rewrites baked
+// into the compiled plan across all its pipelines (fuse-streamers,
+// elide-combine, push-sort-merge). They apply when the plan executes in
+// Optimized mode with fusion on; the conformance plane aggregates these
+// counters to prove each rewrite rule is exercised.
+func (p *Plan) Rewrites() map[string]int {
+	fired := map[string]int{}
+	for _, plan := range p.plans {
+		if plan.Program == nil {
+			continue
+		}
+		for rule, n := range plan.Program.Fired {
+			fired[string(rule)] += n
+		}
+	}
+	return fired
+}
+
 // Inputs returns each pipeline's input source, in script order: the
 // `cat FILE` / `< FILE` file name, or "" for a pipeline that reads
 // standard input. kumquatd uses this to decide whether a streamed
@@ -344,6 +362,7 @@ type execConfig struct {
 	mode           Mode
 	stdin          io.Reader
 	out            io.Writer
+	fuse           bool
 }
 
 // WithParallelism sets the data-parallelism degree k (default:
@@ -364,6 +383,17 @@ func WithCombineWorkers(n int) ExecOption {
 // WithMode selects the execution configuration (default: Optimized).
 func WithMode(m Mode) ExecOption {
 	return func(c *execConfig) { c.mode = m }
+}
+
+// WithFuse toggles the dataflow optimizer's fused execution for Optimized
+// runs (default: on). When on, the plan's optimized region program runs
+// fused regions chunk-parallel end to end — adjacent line-streaming stages
+// execute as one per-chunk pass, combines are elided into order-insensitive
+// consumers, and sort combines push into downstream k-way merge readers;
+// RunReport.Rewrites names what fired. Off reproduces the legacy
+// stage-at-a-time optimized executor (the -fuse=off ablation).
+func WithFuse(on bool) ExecOption {
+	return func(c *execConfig) { c.fuse = on }
 }
 
 // WithStdin supplies the standard-input stream for pipelines that read
@@ -404,6 +434,35 @@ type StageReport struct {
 	Streamed bool
 }
 
+// RegionReport describes one optimizer region of a fused run: the stages
+// it covered, the rewrites that shaped it, and region-level metrics. In a
+// fused region the per-stage combine no longer exists — CombineWall is
+// reported here, per region, instead.
+type RegionReport struct {
+	// Pipeline is the index of the script pipeline the region belongs to.
+	Pipeline int
+	// Stages holds the indices (within the pipeline) of the member stages.
+	Stages []int
+	// Fused marks multi-stage regions run as one composed per-chunk pass.
+	Fused bool
+	// Exit names how the region's output left it (combine, split, concat,
+	// merge-stream).
+	Exit string
+	// Rules names the optimizer rewrites that fired on the region.
+	Rules []string
+	// Wall is the region's wall-clock activity time; CombineWall is the
+	// share spent recombining its chunk outputs.
+	Wall        time.Duration
+	CombineWall time.Duration
+	// BytesIn and BytesOut measure the region's stream volume.
+	BytesIn  int64
+	BytesOut int64
+	// Chunks is the number of parallel instances the region ran as.
+	Chunks int
+	// Streamed marks regions that consumed a lazily merged stream.
+	Streamed bool
+}
+
 // RunReport describes one Execute call: total wall time, bytes read from
 // the sources and written to the sink, and per-stage verdicts and metrics.
 type RunReport struct {
@@ -425,6 +484,16 @@ type RunReport struct {
 	// is attributed at the engine's lookup site, so the counts stay
 	// exact under concurrent use of the same System.
 	SynthCache SynthCacheStats
+	// Fused reports that the graph-walking fused executor ran (Optimized
+	// mode with fusion on and a materialized source).
+	Fused bool
+	// Rewrites counts, per rule name, the dataflow rewrites the fused
+	// run applied (fuse-streamers, elide-combine, push-sort-merge); nil
+	// when the fused executor did not run.
+	Rewrites map[string]int
+	// Regions holds one entry per optimizer region of a fused run, in
+	// order across pipelines; nil when the fused executor did not run.
+	Regions []RegionReport
 	// Output is the captured output stream when no WithOutput sink was
 	// given; empty otherwise.
 	Output string
@@ -443,7 +512,7 @@ type RunReport struct {
 // The legacy Run/RunUnoptimized/RunSerial/RunPipelined methods are thin
 // wrappers over Execute with a buffered output sink.
 func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, error) {
-	cfg := execConfig{k: runtime.GOMAXPROCS(0), mode: Optimized}
+	cfg := execConfig{k: runtime.GOMAXPROCS(0), mode: Optimized, fuse: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -478,10 +547,37 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 			redirect = &strings.Builder{}
 			target = redirect
 		}
+		var info pipeline.RunInfo
 		ms, err := plan.Execute(ctx, p.env.u, cfg.stdin, target, mode, cfg.k,
-			pipeline.WithCombineWorkers(cfg.combineWorkers))
+			pipeline.WithCombineWorkers(cfg.combineWorkers),
+			pipeline.WithFuse(cfg.fuse),
+			pipeline.WithRunInfo(&info))
 		if err != nil {
 			return nil, err
+		}
+		if info.Fused {
+			rep.Fused = true
+			if rep.Rewrites == nil {
+				rep.Rewrites = make(map[string]int, len(info.Rewrites))
+			}
+			for rule, n := range info.Rewrites {
+				rep.Rewrites[rule] += n
+			}
+			for _, rm := range info.Regions {
+				rep.Regions = append(rep.Regions, RegionReport{
+					Pipeline:    i,
+					Stages:      rm.Stages,
+					Fused:       rm.Fused,
+					Exit:        rm.Exit,
+					Rules:       rm.Rules,
+					Wall:        rm.Wall,
+					CombineWall: rm.CombineWall,
+					BytesIn:     rm.BytesIn,
+					BytesOut:    rm.BytesOut,
+					Chunks:      rm.Chunks,
+					Streamed:    rm.Streamed,
+				})
+			}
 		}
 		for j, m := range ms {
 			sr := StageReport{
