@@ -12,6 +12,8 @@
 //	kqconform -n 50 -shrink=false        # skip failure minimization
 //	kqconform -fail-fast                 # stop and shrink at the first divergence
 //	kqconform -serve=false -adversarial=false
+//	kqconform -cluster -require-faults 5 # chaos: 3-worker cluster behind
+//	                                     # fault proxies + mid-suite kills
 //
 // The exit status is 0 when every configuration reproduced the serial
 // oracle, 1 otherwise; diverging cases are shrunk (unless -shrink=false)
@@ -38,6 +40,8 @@ func main() {
 	failFast := flag.Bool("fail-fast", false, "stop at the first divergence and shrink it immediately")
 	requireRules := flag.Int("require-rules", 0, "fail unless every optimizer rewrite fired at least this many times")
 	serve := flag.Bool("serve", true, "replay the suite through a loopback kumquatd")
+	clusterReplay := flag.Bool("cluster", false, "replay the suite through a loopback 3-worker cluster behind fault-injecting proxies")
+	requireFaults := flag.Int("require-faults", 0, "with -cluster: fail unless at least this many faults were injected AND the run retried and speculated at least once")
 	adversarial := flag.Bool("adversarial", true, "stress-validate combiners on adversarial corpora")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool (0 = GOMAXPROCS)")
 	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
@@ -49,6 +53,7 @@ func main() {
 		Shrink:       *shrink,
 		FailFast:     *failFast,
 		Serve:        *serve,
+		Cluster:      *clusterReplay,
 		Adversarial:  *adversarial,
 		SynthWorkers: *synthWorkers,
 	})
@@ -88,6 +93,25 @@ func main() {
 			}
 		}
 	}
+	if *requireFaults > 0 && rep.Cluster != nil {
+		// A chaos run that never injected a fault (or never had to retry
+		// or speculate) proves nothing about recovery; the floor turns
+		// "zero divergences" into "zero divergences under demonstrated
+		// fire".
+		if rep.Cluster.FaultsInjected < int64(*requireFaults) {
+			fmt.Fprintf(os.Stderr, "kqconform: %d faults injected, need >= %d\n",
+				rep.Cluster.FaultsInjected, *requireFaults)
+			ok = false
+		}
+		if rep.Cluster.Retries < 1 {
+			fmt.Fprintln(os.Stderr, "kqconform: chaos run never retried a shard")
+			ok = false
+		}
+		if rep.Cluster.Speculations < 1 {
+			fmt.Fprintln(os.Stderr, "kqconform: chaos run never speculated a straggler")
+			ok = false
+		}
+	}
 	if !ok {
 		os.Exit(1)
 	}
@@ -96,12 +120,17 @@ func main() {
 // summary prints the one-line human verdict (stderr, so a piped stdout
 // stays pure JSON).
 func summary(rep *conformance.Report) {
-	adv, srv := "-", "-"
+	adv, srv, clu := "-", "-", "-"
 	if rep.Adversarial != nil {
 		adv = fmt.Sprintf("%d checks, %d failures", rep.Adversarial.Checks, len(rep.Adversarial.Failures))
 	}
 	if rep.Serve != nil {
 		srv = fmt.Sprintf("%d cases, %d divergences", rep.Serve.Cases, len(rep.Serve.Divergences))
+	}
+	if rep.Cluster != nil {
+		clu = fmt.Sprintf("%d cases, %d divergences, %d faults, %d retries, %d speculations, %d local",
+			rep.Cluster.Cases, len(rep.Cluster.Divergences), rep.Cluster.FaultsInjected,
+			rep.Cluster.Retries, rep.Cluster.Speculations, rep.Cluster.LocalRuns)
 	}
 	rules := make([]string, 0, len(rep.Rewrites))
 	for r := range rep.Rewrites {
@@ -113,7 +142,7 @@ func summary(rep *conformance.Report) {
 		fired[i] = fmt.Sprintf("%s=%d", r, rep.Rewrites[r])
 	}
 	fmt.Fprintf(os.Stderr,
-		"kqconform: seed=%d cases=%d configs=%d executions=%d divergences=%d rewrites=[%s] adversarial=[%s] serve=[%s] wall=%.0fms ok=%v\n",
+		"kqconform: seed=%d cases=%d configs=%d executions=%d divergences=%d rewrites=[%s] adversarial=[%s] serve=[%s] cluster=[%s] wall=%.0fms ok=%v\n",
 		rep.Seed, rep.Cases, rep.Configs, rep.Executions, len(rep.Divergences),
-		strings.Join(fired, " "), adv, srv, rep.WallMS, rep.OK)
+		strings.Join(fired, " "), adv, srv, clu, rep.WallMS, rep.OK)
 }

@@ -17,11 +17,19 @@
 //	                      (fuse=off pins the stage-at-a-time optimized path;
 //	                      the report names the fired optimizer rewrites)
 //	GET  /v1/version      build info + service limits
-//	GET  /healthz         liveness
+//	GET  /healthz         liveness (200 even while draining)
+//	GET  /readyz          readiness (503 once draining starts)
 //	GET  /metrics         Prometheus text exposition
 //
-// SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
-// requests get -drain-timeout to finish, then the process exits.
+// With -workers, kumquatd runs as a cluster coordinator: execute
+// requests split their input into line-aligned shards dispatched to the
+// listed worker daemons (plain kumquatds), with retry/backoff,
+// speculative straggler re-dispatch, worker health ejection, and local
+// fallback when the worker set is exhausted. See internal/cluster.
+//
+// SIGINT/SIGTERM starts a graceful drain: readiness flips to 503, the
+// listener closes, in-flight requests get -drain-timeout to finish, then
+// the process exits.
 package main
 
 import (
@@ -32,12 +40,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"kumquat"
+	"kumquat/internal/cluster"
 	"kumquat/internal/server"
 )
+
+// splitWorkers parses the -workers flag into a trimmed address list.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9917", "listen address")
@@ -48,6 +69,11 @@ func main() {
 	cacheDir := flag.String("synth-cache", "", "directory for the on-disk combiner cache (empty = memory only)")
 	seed := flag.Int64("seed", 1, "synthesis random seed")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	workers := flag.String("workers", "", "comma-separated worker base URLs enabling coordinator mode (e.g. http://127.0.0.1:9918,http://127.0.0.1:9919)")
+	shards := flag.Int("shards", 0, "shards per parallel stage in coordinator mode (0 = worker count)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-attempt deadline of one remote shard (0 = 30s)")
+	retryMax := flag.Int("retry-max", 0, "re-dispatches per failed shard attempt chain (0 = 3)")
+	speculateAfter := flag.Duration("speculate-after", 0, "minimum shard age before speculative re-dispatch (0 = 2s, negative disables)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -65,7 +91,17 @@ func main() {
 		MaxInFlight:        *maxInFlight,
 		QueueDepth:         *queueDepth,
 		DefaultParallelism: *defaultK,
+		Cluster: cluster.Config{
+			Workers:        splitWorkers(*workers),
+			Shards:         *shards,
+			ShardTimeout:   *shardTimeout,
+			RetryMax:       *retryMax,
+			SpeculateAfter: *speculateAfter,
+		},
 	})
+	if ws := srv.Coordinator(); ws != nil {
+		fmt.Fprintf(os.Stderr, "kumquatd: coordinator mode, %d workers, %d shards\n", len(ws.Workers()), ws.Shards())
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -91,6 +127,9 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		stop() // re-arm default signal disposition for a hard second hit
+		// Flip readiness before closing the listener so probes and
+		// coordinators stop routing work here while streams finish.
+		srv.SetDraining(true)
 		fmt.Fprintf(os.Stderr, "kumquatd: draining (%v budget)\n", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

@@ -25,7 +25,10 @@ var Packages = []string{
 	"kumquat/internal/synth/cache",
 	"kumquat/internal/dsl",
 	"kumquat/internal/server",
+	"kumquat/internal/server/api",
 	"kumquat/internal/server/client",
+	"kumquat/internal/cluster",
+	"kumquat/internal/faultinject",
 	"kumquat/internal/conformance",
 	"kumquat/internal/dataflow",
 	"kumquat/internal/analysis/...",

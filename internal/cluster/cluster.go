@@ -1,0 +1,261 @@
+// Package cluster is kumquatd's fault-tolerant cluster execution plane:
+// a coordinator that splits a pipeline's input corpus into line-aligned
+// byte-range shards (the textio offsets core), fans the shards out to
+// worker daemons over the typed client (each worker executes one stage
+// spec on one shard — a remote leaf of the combine tree), and recombines
+// the partial results with the same Associative/CombineKTree machinery
+// the in-process combine plane uses. The output is byte-identical to the
+// local unoptimized u_k execution, which the conformance plane holds to
+// the serial oracle.
+//
+// Failure handling is the design axis, not a bolt-on. Shards are
+// idempotent — a shard's output is a pure function of (stage spec, shard
+// bytes) — so every recovery mechanism is a re-run:
+//
+//   - per-shard deadlines with exponential-backoff, full-jitter retries
+//     across the worker set (Retry-After honored via the client policy);
+//   - speculative re-dispatch of straggler shards past a latency
+//     threshold derived from the run's completed-shard quantile
+//     (first result wins, the duplicate is cancelled and discarded);
+//   - worker health accounting with ejection after consecutive failures
+//     and probe-gated re-admission after a cooldown;
+//   - graceful degradation to local in-process execution when the worker
+//     set is exhausted, so a dead cluster only costs speed, never
+//     correctness.
+//
+// Every retry, speculation, ejection and fallback is counted per run
+// (api.ClusterReport in the execute trailer) and cumulatively (the
+// coordinator's /metrics gauges).
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"kumquat/internal/pipeline"
+	"kumquat/internal/textio"
+)
+
+// Runner executes a single-stage script on one input shard — the remote
+// leaf abstraction. The production implementation wraps the typed HTTP
+// client (NewHTTPRunner); tests substitute scripted fakes.
+type Runner interface {
+	// Run executes script over input and returns the output stream.
+	Run(ctx context.Context, script, input string) (string, error)
+	// Probe checks the worker's readiness (used to gate re-admission of
+	// an ejected worker).
+	Probe(ctx context.Context) error
+}
+
+// Config tunes a Coordinator. Workers is required; every other field has
+// a serviceable default.
+type Config struct {
+	// Workers lists the worker daemons' base URLs (e.g.
+	// "http://10.0.0.2:9917"). An empty list disables cluster dispatch.
+	Workers []string
+	// NewRunner builds the transport for one worker address; nil selects
+	// the HTTP runner over the typed client. Tests inject fakes here.
+	NewRunner func(addr string) Runner
+	// Shards is the number of shards a parallel stage's input splits
+	// into (0 = len(Workers)).
+	Shards int
+	// ShardTimeout is the per-attempt deadline of one remote shard
+	// execution (default 30s).
+	ShardTimeout time.Duration
+	// RetryMax is the number of re-dispatches after a shard attempt
+	// fails, each against a (preferably different) healthy worker with
+	// exponential backoff between attempts (default 3).
+	RetryMax int
+	// RetryBase and RetryCap bound the full-jitter backoff delays
+	// (defaults 50ms and 1s).
+	RetryBase, RetryCap time.Duration
+	// SpeculateAfter is the minimum age before a running shard may be
+	// speculatively re-dispatched (default 2s; <0 disables speculation).
+	SpeculateAfter time.Duration
+	// SpeculateFactor scales the completed-shard latency quantile into
+	// the straggler threshold: a shard older than
+	// max(SpeculateAfter, SpeculateFactor × quantile) gets a duplicate
+	// dispatch (default 2.0).
+	SpeculateFactor float64
+	// SpeculateQuantile is the completed-latency quantile the straggler
+	// threshold derives from (default 0.75).
+	SpeculateQuantile float64
+	// EjectAfter is the consecutive-failure count that ejects a worker
+	// from the rotation (default 3).
+	EjectAfter int
+	// EjectCooldown is how long an ejected worker sits out before a
+	// successful probe readmits it (default 15s).
+	EjectCooldown time.Duration
+	// ProbeTimeout bounds one re-admission probe (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.NewRunner == nil {
+		c.NewRunner = func(addr string) Runner { return NewHTTPRunner(addr, c) }
+	}
+	if c.Shards == 0 {
+		c.Shards = len(c.Workers)
+	}
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = 30 * time.Second
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = time.Second
+	}
+	if c.SpeculateAfter == 0 {
+		c.SpeculateAfter = 2 * time.Second
+	}
+	if c.SpeculateFactor == 0 {
+		c.SpeculateFactor = 2.0
+	}
+	if c.SpeculateQuantile == 0 {
+		c.SpeculateQuantile = 0.75
+	}
+	if c.EjectAfter == 0 {
+		c.EjectAfter = 3
+	}
+	if c.EjectCooldown == 0 {
+		c.EjectCooldown = 15 * time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Coordinator owns the worker pool and executes compiled pipeline plans
+// across it. It is safe for concurrent use; cumulative counters feed
+// /metrics while each ExecutePlan call gets its own Stats.
+type Coordinator struct {
+	cfg  Config
+	pool *pool
+	// total accumulates every run's stats for the /metrics surface.
+	total *Stats
+}
+
+// New builds a Coordinator over the configured worker set.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	return &Coordinator{cfg: cfg, pool: newPool(cfg), total: &Stats{}}
+}
+
+// Workers returns the configured worker addresses.
+func (co *Coordinator) Workers() []string {
+	out := make([]string, len(co.cfg.Workers))
+	copy(out, co.cfg.Workers)
+	return out
+}
+
+// Healthy reports how many workers are currently in the rotation.
+func (co *Coordinator) Healthy() int { return co.pool.healthy() }
+
+// Shards reports the per-stage shard count dispatch splits into.
+func (co *Coordinator) Shards() int { return co.cfg.Shards }
+
+// TotalStats snapshots the coordinator's cumulative dispatch counters
+// (every run since construction) for the /metrics surface.
+func (co *Coordinator) TotalStats() StatsSnapshot { return co.total.Snapshot() }
+
+// StageStat is one stage's execution accounting from a cluster run.
+type StageStat struct {
+	// Spec is the stage's command text.
+	Spec string
+	// Remote marks stages whose shards were dispatched to workers (false
+	// = the stage ran locally: sequential, non-parallel, or
+	// non-dispatchable specs).
+	Remote bool
+	// Shards is the number of shards the stage's input split into (0
+	// when the stage ran unsharded).
+	Shards int
+	// Wall is the stage's wall-clock time, CombineWall the share spent
+	// recombining shard outputs.
+	Wall, CombineWall time.Duration
+	// BytesIn and BytesOut measure the stage's stream volume.
+	BytesIn, BytesOut int64
+}
+
+// ExecutePlan runs one compiled pipeline over the cluster: parallel
+// stages shard their input and dispatch to workers, everything else runs
+// locally on the coordinator, and stage boundaries are barriers (the
+// u_k configuration with remote leaves). It returns the output stream,
+// per-stage accounting, and the run's dispatch stats.
+func (co *Coordinator) ExecutePlan(ctx context.Context, plan *pipeline.Plan, corpus string, combineWorkers int) (string, []StageStat, *Stats, error) {
+	st := &Stats{}
+	data := corpus
+	var stages []StageStat
+	for _, sp := range plan.Stages {
+		if err := ctx.Err(); err != nil {
+			return "", stages, st, err
+		}
+		stat := StageStat{Spec: sp.Spec, BytesIn: int64(len(data))}
+		start := time.Now()
+		var next string
+		var err error
+		if co.dispatchable(sp) {
+			chunks := textio.ChunkLines(data, co.cfg.Shards)
+			var outs []string
+			outs, err = co.runShards(ctx, sp, chunks, st)
+			if err == nil {
+				stat.Remote = true
+				stat.Shards = len(chunks)
+				cstart := time.Now()
+				next, err = sp.Synth.Combiner.CombineKTree(outs, combineWorkers)
+				stat.CombineWall = time.Since(cstart)
+				if err != nil {
+					err = fmt.Errorf("cluster: stage %q combine: %w", sp.Spec, err)
+				}
+			}
+		} else {
+			next, err = sp.Cmd.Run(data)
+			if err != nil {
+				err = fmt.Errorf("cluster: stage %q: %w", sp.Spec, err)
+			}
+		}
+		if err != nil {
+			return "", stages, st, err
+		}
+		stat.Wall = time.Since(start)
+		stat.BytesOut = int64(len(next))
+		stages = append(stages, stat)
+		data = next
+	}
+	co.total.AddAll(st)
+	return data, stages, st, nil
+}
+
+// dispatchable reports whether a stage's shards may run remotely: the
+// planner must have marked it parallel with a combiner, more than one
+// shard must be configured, and the spec must round-trip as a
+// single-stage script on a worker (a leading "cat FILE" would be
+// re-interpreted as an input source there, not a stage).
+func (co *Coordinator) dispatchable(sp *pipeline.StagePlan) bool {
+	if !sp.Parallel || sp.Synth == nil || sp.Synth.Combiner == nil {
+		return false
+	}
+	if co.cfg.Shards < 2 || len(co.cfg.Workers) == 0 {
+		return false
+	}
+	return scriptRoundTrips(sp.Spec)
+}
+
+// scriptRoundTrips checks that spec, parsed as a standalone script,
+// yields exactly the same single stage reading standard input.
+func scriptRoundTrips(spec string) bool {
+	parsed, err := pipeline.ParseScript(spec+"\n", nil)
+	if err != nil || len(parsed.Pipelines) != 1 {
+		return false
+	}
+	p := parsed.Pipelines[0]
+	return p.InputFile == "" && p.OutputFile == "" &&
+		len(p.Stages) == 1 && strings.TrimSpace(p.Stages[0]) == strings.TrimSpace(spec)
+}

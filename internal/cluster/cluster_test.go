@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kumquat"
+	"kumquat/internal/pipeline"
+	"kumquat/internal/unix"
+)
+
+// fakeRunner executes stage scripts in-process through the unix
+// substrate, with scripted failures, latency and probe outcomes — a
+// worker daemon without the HTTP.
+type fakeRunner struct {
+	addr  string
+	delay time.Duration
+	// fail decides whether call number n (1-based, per runner) fails;
+	// nil means every call succeeds.
+	fail func(n int) error
+	// probeErr is returned by Probe.
+	probeErr error
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *fakeRunner) Run(ctx context.Context, script, input string) (string, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if f.fail != nil {
+		if err := f.fail(n); err != nil {
+			return "", err
+		}
+	}
+	if f.delay > 0 {
+		t := time.NewTimer(f.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	cmd, err := unix.Parse(strings.TrimSpace(script), unix.DefaultEnv())
+	if err != nil {
+		return "", err
+	}
+	return cmd.Run(input)
+}
+
+func (f *fakeRunner) Probe(ctx context.Context) error { return f.probeErr }
+
+func (f *fakeRunner) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// compilePlan builds one compiled pipeline plan through the real
+// synthesis engine (cached across tests via the shared system).
+var (
+	testSysOnce sync.Once
+	testSys     *kumquat.System
+)
+
+func compilePlan(t *testing.T, script string) *pipeline.Plan {
+	t.Helper()
+	testSysOnce.Do(func() {
+		testSys = kumquat.New(kumquat.NewEnv())
+	})
+	plan, err := testSys.ParallelizeContext(context.Background(), script+"\n")
+	if err != nil {
+		t.Fatalf("parallelize %q: %v", script, err)
+	}
+	return plan.PipelinePlans()[0]
+}
+
+// serialRun computes the oracle: every stage to completion, in order.
+func serialRun(t *testing.T, plan *pipeline.Plan, corpus string) string {
+	t.Helper()
+	data := corpus
+	for _, sp := range plan.Stages {
+		out, err := sp.Cmd.Run(data)
+		if err != nil {
+			t.Fatalf("serial stage %q: %v", sp.Spec, err)
+		}
+		data = out
+	}
+	return data
+}
+
+// testConfig returns a Config with fake runners and test-scale timings.
+func testConfig(runners map[string]*fakeRunner, addrs ...string) Config {
+	return Config{
+		Workers:        addrs,
+		NewRunner:      func(addr string) Runner { return runners[addr] },
+		Shards:         3,
+		ShardTimeout:   5 * time.Second,
+		RetryMax:       3,
+		RetryBase:      time.Millisecond,
+		RetryCap:       5 * time.Millisecond,
+		SpeculateAfter: -1, // individual tests opt in
+		EjectAfter:     2,
+		EjectCooldown:  time.Minute,
+		ProbeTimeout:   time.Second,
+	}
+}
+
+const testCorpus = "pear\napple\npear\nfig\napple\npear\nkiwi\nfig\n"
+
+// TestExecutePlanMatchesSerial: healthy cluster, parallel stages shard
+// to the workers and the combined output is byte-identical to the
+// serial run.
+func TestExecutePlanMatchesSerial(t *testing.T) {
+	runners := map[string]*fakeRunner{
+		"a": {addr: "a"}, "b": {addr: "b"}, "c": {addr: "c"},
+	}
+	co := New(testConfig(runners, "a", "b", "c"))
+	plan := compilePlan(t, "sort | uniq -c")
+
+	out, stages, st, err := co.ExecutePlan(context.Background(), plan, testCorpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialRun(t, plan, testCorpus); out != want {
+		t.Fatalf("cluster output diverges:\n%q\nwant\n%q", out, want)
+	}
+	snap := st.Snapshot()
+	if snap.RemoteRuns == 0 || snap.LocalRuns != 0 {
+		t.Fatalf("healthy cluster ran remote=%d local=%d", snap.RemoteRuns, snap.LocalRuns)
+	}
+	remote := 0
+	for _, sg := range stages {
+		if sg.Remote {
+			remote++
+			if sg.Shards != 3 {
+				t.Fatalf("stage %q sharded %d ways, want 3", sg.Spec, sg.Shards)
+			}
+		}
+	}
+	if remote == 0 {
+		t.Fatal("no stage was dispatched remotely")
+	}
+}
+
+// TestRetryFailover: a worker that always fails is routed around — the
+// shard retries on another worker, the run succeeds, and the retry is
+// counted.
+func TestRetryFailover(t *testing.T) {
+	boom := errors.New("boom")
+	runners := map[string]*fakeRunner{
+		"bad":  {addr: "bad", fail: func(int) error { return boom }},
+		"good": {addr: "good"},
+	}
+	co := New(testConfig(runners, "bad", "good"))
+	plan := compilePlan(t, "sort")
+
+	out, _, st, err := co.ExecutePlan(context.Background(), plan, testCorpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialRun(t, plan, testCorpus); out != want {
+		t.Fatalf("failover output diverges: %q != %q", out, want)
+	}
+	snap := st.Snapshot()
+	if snap.Retries == 0 {
+		t.Fatal("failing worker produced no retries")
+	}
+	if snap.LocalRuns != 0 {
+		t.Fatalf("failover degraded to local (%d runs) despite a healthy worker", snap.LocalRuns)
+	}
+	if runners["good"].callCount() == 0 {
+		t.Fatal("healthy worker was never tried")
+	}
+}
+
+// TestLocalFallback: with every worker dead the coordinator degrades to
+// in-process execution — correct output, every shard counted local, and
+// the dead workers ejected.
+func TestLocalFallback(t *testing.T) {
+	boom := errors.New("down")
+	fail := func(int) error { return boom }
+	runners := map[string]*fakeRunner{
+		"a": {addr: "a", fail: fail, probeErr: boom},
+		"b": {addr: "b", fail: fail, probeErr: boom},
+	}
+	cfg := testConfig(runners, "a", "b")
+	cfg.EjectCooldown = time.Minute // keep dead workers out for the test's duration
+	co := New(cfg)
+	plan := compilePlan(t, "sort | uniq -c")
+
+	out, _, st, err := co.ExecutePlan(context.Background(), plan, testCorpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialRun(t, plan, testCorpus); out != want {
+		t.Fatalf("fallback output diverges:\n%q\nwant\n%q", out, want)
+	}
+	snap := st.Snapshot()
+	if snap.LocalRuns == 0 {
+		t.Fatal("dead cluster produced no local runs")
+	}
+	if snap.RemoteRuns != 0 {
+		t.Fatalf("dead cluster reported %d remote runs", snap.RemoteRuns)
+	}
+	if snap.Ejections == 0 {
+		t.Fatal("dead workers were never ejected")
+	}
+	if co.Healthy() != 0 {
+		t.Fatalf("Healthy() = %d with every worker dead", co.Healthy())
+	}
+}
+
+// TestSpeculationWins: a stalling worker's shard gets a speculative
+// duplicate on a healthy worker, the duplicate's result wins, and the
+// output stays byte-identical.
+func TestSpeculationWins(t *testing.T) {
+	runners := map[string]*fakeRunner{
+		"slow": {addr: "slow", delay: 2 * time.Second},
+		"b":    {addr: "b"}, "c": {addr: "c"},
+	}
+	cfg := testConfig(runners, "slow", "b", "c")
+	cfg.SpeculateAfter = 20 * time.Millisecond
+	cfg.SpeculateFactor = 100 // keep the floor decisive at test scale
+	co := New(cfg)
+	plan := compilePlan(t, "sort")
+
+	out, _, st, err := co.ExecutePlan(context.Background(), plan, testCorpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialRun(t, plan, testCorpus); out != want {
+		t.Fatalf("speculated output diverges: %q != %q", out, want)
+	}
+	snap := st.Snapshot()
+	if snap.Speculations == 0 {
+		t.Fatal("stalled shard never speculated")
+	}
+	if snap.SpeculationWins == 0 {
+		t.Fatal("speculative duplicate never won against a 2s straggler")
+	}
+}
+
+// TestEjectionReadmission: an ejected worker whose cooldown expired is
+// probed and readmitted once the rotation is otherwise empty.
+func TestEjectionReadmission(t *testing.T) {
+	flaky := &fakeRunner{addr: "w"}
+	calls := 0
+	var mu sync.Mutex
+	flaky.fail = func(int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls <= 2 {
+			return errors.New("warming up")
+		}
+		return nil
+	}
+	cfg := testConfig(map[string]*fakeRunner{"w": flaky}, "w")
+	cfg.Shards = 2
+	cfg.EjectAfter = 2
+	cfg.EjectCooldown = time.Millisecond
+	cfg.RetryMax = 4
+	cfg.RetryBase = 5 * time.Millisecond
+	co := New(cfg)
+	plan := compilePlan(t, "sort")
+
+	out, _, st, err := co.ExecutePlan(context.Background(), plan, testCorpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialRun(t, plan, testCorpus); out != want {
+		t.Fatalf("readmission output diverges: %q != %q", out, want)
+	}
+	snap := st.Snapshot()
+	if snap.Ejections == 0 || snap.Readmissions == 0 {
+		t.Fatalf("eject/readmit cycle not observed: %+v", snap)
+	}
+	if snap.LocalRuns != 0 {
+		t.Fatalf("run degraded locally (%d) instead of readmitting", snap.LocalRuns)
+	}
+}
+
+// TestDispatchGuards: sharding is refused for specs that would not
+// round-trip as standalone scripts, and for degenerate shard counts.
+func TestDispatchGuards(t *testing.T) {
+	runners := map[string]*fakeRunner{"a": {addr: "a"}, "b": {addr: "b"}}
+	co := New(testConfig(runners, "a", "b"))
+	if !scriptRoundTrips("sort") || !scriptRoundTrips("uniq -c") {
+		t.Fatal("plain stage specs must round-trip")
+	}
+	// A leading `cat FILE` re-parses as an input source, not a stage, on
+	// the worker; dispatching it would execute nothing.
+	if scriptRoundTrips("cat data.txt") {
+		t.Fatal("cat FILE must not round-trip as a dispatchable stage")
+	}
+	plan := compilePlan(t, "sort | uniq -c")
+	for _, sp := range plan.Stages {
+		if sp.Parallel && sp.Synth != nil && sp.Synth.Combiner != nil && !co.dispatchable(sp) {
+			t.Fatalf("parallel stage %q unexpectedly not dispatchable", sp.Spec)
+		}
+	}
+	one := New(Config{Workers: []string{"a"}, Shards: 1,
+		NewRunner: func(addr string) Runner { return runners["a"] }})
+	for _, sp := range plan.Stages {
+		if one.dispatchable(sp) {
+			t.Fatalf("stage %q dispatchable with a single shard", sp.Spec)
+		}
+	}
+}
+
+// TestEmptyShardsStillRun: chunking pads with empty shards; they must
+// still execute (wc -l turns "" into "0\n" — dropping the shard would
+// corrupt the combine).
+func TestEmptyShardsStillRun(t *testing.T) {
+	runners := map[string]*fakeRunner{
+		"a": {addr: "a"}, "b": {addr: "b"}, "c": {addr: "c"},
+	}
+	cfg := testConfig(runners, "a", "b", "c")
+	cfg.Shards = 4 // more shards than the corpus has lines below
+	co := New(cfg)
+	plan := compilePlan(t, "wc -l")
+	corpus := "x\ny\n"
+	out, _, st, err := co.ExecutePlan(context.Background(), plan, corpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialRun(t, plan, corpus); out != want {
+		t.Fatalf("padded-shard output = %q, want %q", out, want)
+	}
+	if got := st.Snapshot().Shards; got != 4 {
+		t.Fatalf("dispatched %d shards, want 4 (empty shards must run)", got)
+	}
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"kumquat/internal/pipeline"
+	"kumquat/internal/server/client"
+)
+
+// errNoWorkers reports an exhausted rotation: every worker is ejected
+// and no probe readmitted one.
+var errNoWorkers = errors.New("cluster: no healthy workers")
+
+// latencies tracks completed shard latencies within one dispatch wave;
+// the speculation threshold derives from its quantile.
+type latencies struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+// record logs one completed shard's latency.
+func (l *latencies) record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ds = append(l.ds, d)
+}
+
+// quantile returns the q-quantile of the recorded latencies (false when
+// none have completed yet).
+func (l *latencies) quantile(q float64) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ds) == 0 {
+		return 0, false
+	}
+	ds := make([]time.Duration, len(l.ds))
+	copy(ds, l.ds)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(q * float64(len(ds)-1))
+	return ds[i], true
+}
+
+// runShards executes one parallel stage's chunks across the cluster,
+// concurrently, returning the per-shard outputs in shard order (the
+// order CombineKTree needs for byte-identity with the local combine).
+func (co *Coordinator) runShards(ctx context.Context, sp *pipeline.StagePlan, chunks []string, st *Stats) ([]string, error) {
+	outs := make([]string, len(chunks))
+	errs := make([]error, len(chunks))
+	lat := &latencies{}
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = co.runShard(ctx, sp, chunks[i], lat, st)
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stage %q shard %d: %w", sp.Spec, i, err)
+		}
+	}
+	return outs, nil
+}
+
+// runShard resolves one shard: remote dispatch (with retries and
+// speculation) first, local in-process execution as the last resort.
+// Shards are idempotent — the output is a pure function of (stage spec,
+// shard bytes) — so a re-run anywhere yields identical bytes.
+func (co *Coordinator) runShard(ctx context.Context, sp *pipeline.StagePlan, chunk string, lat *latencies, st *Stats) (string, error) {
+	st.Shards.Add(1)
+	start := time.Now()
+	out, err := co.dispatch(ctx, sp.Spec, chunk, lat, st)
+	if err == nil {
+		lat.record(time.Since(start))
+		st.RemoteRuns.Add(1)
+		return out, nil
+	}
+	if ctx.Err() != nil {
+		return "", ctx.Err()
+	}
+	// Graceful degradation: the worker set failed this shard, so run it
+	// in-process — the cluster only ever costs speed, not correctness.
+	st.LocalRuns.Add(1)
+	out, lerr := sp.Cmd.Run(chunk)
+	if lerr != nil {
+		return "", fmt.Errorf("local fallback (remote: %v): %w", err, lerr)
+	}
+	return out, nil
+}
+
+// dispatch races the shard's primary attempt chain against an optional
+// speculative duplicate launched once the shard looks like a straggler.
+// The first successful result wins; the loser is cancelled and its
+// result discarded (safe: shards are idempotent, duplicates are
+// byte-identical).
+func (co *Coordinator) dispatch(ctx context.Context, spec, chunk string, lat *latencies, st *Stats) (string, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		out  string
+		err  error
+		dup  bool // produced by the speculative duplicate
+	}
+	resc := make(chan result, 2) // never blocks: at most two senders
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	launch := func(dup bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := co.attempts(actx, spec, chunk, st)
+			resc <- result{out, err, dup}
+		}()
+	}
+	launch(false)
+
+	var timerC <-chan time.Time
+	if d, ok := co.specDelay(lat); ok {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-resc:
+			pending--
+			if r.err == nil {
+				if r.dup {
+					st.SpeculationWins.Add(1)
+				}
+				cancel() // abandon the losing attempt, if still running
+				return r.out, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending == 0 {
+				return "", firstErr
+			}
+		case <-timerC:
+			// The shard outlived the straggler threshold: re-dispatch it
+			// speculatively. The in-flight accounting steers the duplicate
+			// to a different worker than the one sitting on the original.
+			timerC = nil
+			st.Speculations.Add(1)
+			launch(true)
+			pending++
+		case <-actx.Done():
+			return "", actx.Err()
+		}
+	}
+}
+
+// specDelay resolves the straggler threshold for a shard starting now:
+// the configured floor, raised to SpeculateFactor times the completed
+// quantile once enough of the wave has finished.
+func (co *Coordinator) specDelay(lat *latencies) (time.Duration, bool) {
+	if co.cfg.SpeculateAfter < 0 {
+		return 0, false
+	}
+	d := co.cfg.SpeculateAfter
+	if q, ok := lat.quantile(co.cfg.SpeculateQuantile); ok {
+		if scaled := time.Duration(float64(q) * co.cfg.SpeculateFactor); scaled > d {
+			d = scaled
+		}
+	}
+	return d, true
+}
+
+// attempts is one dispatch chain: claim a worker, run the shard under
+// the per-attempt deadline, and on failure back off (full jitter,
+// floored at a 429's Retry-After) and retry on the next worker, up to
+// RetryMax re-dispatches.
+func (co *Coordinator) attempts(ctx context.Context, spec, chunk string, st *Stats) (string, error) {
+	var last error
+	var avoid *worker
+	for try := 0; try <= co.cfg.RetryMax; try++ {
+		if try > 0 {
+			st.Retries.Add(1)
+			if !sleepCtx(ctx, co.backoff(try-1, last)) {
+				return "", ctx.Err()
+			}
+		}
+		w := co.pool.pick(ctx, avoid, st)
+		if w == nil {
+			// Every worker is ejected right now. Keep retrying: the backoff
+			// before the next try doubles as cooldown time, so a recovering
+			// worker can be probed back in before the chain gives up.
+			switch {
+			case last == nil:
+				last = errNoWorkers
+			case !errors.Is(last, errNoWorkers):
+				last = fmt.Errorf("%w (last: %v)", errNoWorkers, last)
+			}
+			continue
+		}
+		actx, cancel := context.WithTimeout(ctx, co.cfg.ShardTimeout)
+		out, err := w.runner.Run(actx, spec, chunk)
+		cancel()
+		if err == nil {
+			co.pool.success(w)
+			return out, nil
+		}
+		co.pool.failure(w, st)
+		last = err
+		avoid = w
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+	}
+	return "", last
+}
+
+// backoff computes the delay before retry try+1: full jitter over an
+// exponentially growing ceiling, floored at the worker's Retry-After
+// hint when the failure was load shedding.
+func (co *Coordinator) backoff(try int, err error) time.Duration {
+	shift := uint(try)
+	if shift > 20 {
+		shift = 20
+	}
+	ceil := co.cfg.RetryBase << shift
+	if ceil <= 0 || ceil > co.cfg.RetryCap {
+		ceil = co.cfg.RetryCap
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	var busy *client.BusyError
+	if errors.As(err, &busy) && busy.RetryAfter > d {
+		d = busy.RetryAfter
+	}
+	return d
+}
+
+// sleepCtx waits for d or until ctx is done, reporting whether the full
+// delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,46 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+
+	"kumquat"
+)
+
+// TestReplayClusterHandcrafted drives handcrafted cases through the full
+// chaos topology — 3 workers behind fault-injecting proxies, a worker
+// kill partway through — and requires byte-identity with the serial
+// oracle on every case.
+func TestReplayClusterHandcrafted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos topology boot is too heavy for -short")
+	}
+	sys := kumquat.New(kumquat.NewEnv())
+	cases := []*Case{
+		{Script: "sort | uniq -c | sort -rn\n", Corpus: "b\na\nb\nc\na\nb\n", Profile: "hand"},
+		{Script: "grep -c a\n", Corpus: "apple\nfig\npear\nbanana\n", Profile: "hand"},
+		{Script: "tr a-z A-Z | sort\n", Corpus: "pear\napple\nfig\n", Profile: "hand"},
+		{Script: "wc -l\n", Corpus: "", Profile: "hand-empty"},
+		{Script: "sort -u\n", Corpus: "c\na\nc\nb\na\n", Profile: "hand"},
+	}
+	rep, err := ReplayCluster(context.Background(), sys, cases, ClusterOptions{Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("cluster divergences under chaos: %+v", rep.Divergences)
+	}
+	if rep.Cases != len(cases) {
+		t.Fatalf("replay covered %d of %d cases", rep.Cases, len(cases))
+	}
+	if rep.Workers != 3 || rep.Shards == 0 {
+		t.Fatalf("topology accounting wrong: %+v", rep)
+	}
+	// The kill schedule guarantees degradation for the suite's tail.
+	if rep.WorkerKilledAt < 0 || rep.ClusterKilledAt <= rep.WorkerKilledAt {
+		t.Fatalf("kill schedule not recorded: %+v", rep)
+	}
+	if rep.LocalRuns == 0 {
+		t.Fatalf("killing every worker produced no local fallback: %+v", rep)
+	}
+}

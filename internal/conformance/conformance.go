@@ -51,6 +51,10 @@ type Options struct {
 	// Serve replays the generated suite through a live loopback kumquatd
 	// and holds the HTTP plane to the same serial oracle.
 	Serve bool
+	// Cluster replays the generated suite through a loopback 3-worker
+	// cluster behind fault-injecting proxies (with mid-suite worker
+	// kills) and holds the chaos plane to the same serial oracle.
+	Cluster bool
 	// Adversarial stress-validates the synthesized combiners of the
 	// generator's command pool on the adversarial corpora.
 	Adversarial bool
@@ -83,6 +87,8 @@ type Report struct {
 	Adversarial *StressReport `json:"adversarial,omitempty"`
 	// Serve summarizes the kumquatd replay (nil when disabled).
 	Serve *ServeReport `json:"serve,omitempty"`
+	// Cluster summarizes the chaos cluster replay (nil when disabled).
+	Cluster *ChaosReport `json:"cluster,omitempty"`
 	// WallMS is the whole run's wall-clock time.
 	WallMS float64 `json:"wall_ms"`
 	// OK is true when no plane diverged from the oracle.
@@ -150,10 +156,19 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}
 		rep.Serve = sr
 	}
+	if opts.Cluster {
+		cr, err := ReplayCluster(ctx, sys, cases,
+			ClusterOptions{Seed: opts.Seed, SynthWorkers: opts.SynthWorkers}, oracles)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cluster = cr
+	}
 	rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	rep.OK = len(rep.Divergences) == 0 &&
 		(rep.Adversarial == nil || len(rep.Adversarial.Failures) == 0) &&
-		(rep.Serve == nil || len(rep.Serve.Divergences) == 0)
+		(rep.Serve == nil || len(rep.Serve.Divergences) == 0) &&
+		(rep.Cluster == nil || len(rep.Cluster.Divergences) == 0)
 	return rep, nil
 }
 

@@ -1,0 +1,200 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns an httptest server streaming a fixed body with a
+// report trailer — the shape of a kumquatd execute response.
+func backend(t *testing.T, body, report string) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Trailer", "X-Kumquat-Report")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, body) //nolint:errcheck
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		w.Header().Set("X-Kumquat-Report", report)
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// proxyFor boots a proxy with the given schedule in front of a backend.
+func proxyFor(t *testing.T, target string, sched *Schedule, stall time.Duration) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := New(target, sched, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(p)
+	t.Cleanup(hs.Close)
+	return p, hs
+}
+
+// only builds a schedule that deals one fault on every request.
+func only(f Fault) *Schedule {
+	return NewSchedule(1, map[Fault]float64{f: 1.0}, 0)
+}
+
+// TestPassThrough: with no faults scheduled, body and trailers survive
+// the proxy byte-for-byte.
+func TestPassThrough(t *testing.T) {
+	bs := backend(t, "hello\nworld\n", `{"ok":true}`)
+	p, hs := proxyFor(t, bs.URL, NewSchedule(1, nil, 0), 0)
+
+	resp, err := http.Get(hs.URL + "/v1/execute?script=sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "hello\nworld\n" {
+		t.Fatalf("body through proxy = %q", body)
+	}
+	if got := resp.Trailer.Get("X-Kumquat-Report"); got != `{"ok":true}` {
+		t.Fatalf("trailer through proxy = %q", got)
+	}
+	if p.Total() != 0 {
+		t.Fatalf("pass-through counted %d faults", p.Total())
+	}
+	if p.Counts()[FaultNone] != 1 {
+		t.Fatalf("pass-through not counted: %v", p.Counts())
+	}
+}
+
+// TestReset: the connection dies before any response bytes.
+func TestReset(t *testing.T) {
+	bs := backend(t, "data\n", "{}")
+	p, hs := proxyFor(t, bs.URL, only(FaultReset), 0)
+	resp, err := http.Get(hs.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset fault produced a response: %v", resp.Status)
+	}
+	if p.Counts()[FaultReset] != 1 {
+		t.Fatalf("reset not counted: %v", p.Counts())
+	}
+}
+
+// TestTruncate: some body bytes arrive, then the stream dies mid-chunk.
+func TestTruncate(t *testing.T) {
+	bs := backend(t, strings.Repeat("x", 1000)+"\n", "{}")
+	p, hs := proxyFor(t, bs.URL, only(FaultTruncate), 0)
+	resp, err := http.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("truncated body read cleanly to EOF")
+	}
+	if p.Counts()[FaultTruncate] != 1 {
+		t.Fatalf("truncate not counted: %v", p.Counts())
+	}
+}
+
+// TestDropTrailer: the body completes but the report trailer is gone.
+func TestDropTrailer(t *testing.T) {
+	bs := backend(t, "done\n", `{"ok":true}`)
+	p, hs := proxyFor(t, bs.URL, only(FaultDropTrailer), 0)
+	resp, err := http.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "done\n" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := resp.Trailer.Get("X-Kumquat-Report"); got != "" {
+		t.Fatalf("trailer survived a drop-trailer fault: %q", got)
+	}
+	if p.Counts()[FaultDropTrailer] != 1 {
+		t.Fatalf("drop-trailer not counted: %v", p.Counts())
+	}
+}
+
+// TestErrorsAndBursts: 503s answer immediately; a dealt 429 carries
+// Retry-After and drags a burst behind it.
+func TestErrorsAndBursts(t *testing.T) {
+	bs := backend(t, "x\n", "{}")
+	_, hs503 := proxyFor(t, bs.URL, only(FaultError503), 0)
+	resp, err := http.Get(hs503.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("503 fault answered %d", resp.StatusCode)
+	}
+
+	sched := NewSchedule(1, map[Fault]float64{FaultBusy429: 1.0}, 2)
+	_, hs429 := proxyFor(t, bs.URL, sched, 0)
+	for i := 0; i < 3; i++ { // the dealt 429 plus its burst of 2
+		resp, err := http.Get(hs429.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d of burst answered %d", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("429 without Retry-After on request %d", i)
+		}
+	}
+}
+
+// TestStallCompletes: a stalled response is late but intact — the
+// straggler shape that must trigger speculation, not failure.
+func TestStallCompletes(t *testing.T) {
+	bs := backend(t, "slow\n", `{"ok":true}`)
+	p, hs := proxyFor(t, bs.URL, only(FaultStall), 80*time.Millisecond)
+	start := time.Now()
+	resp, err := http.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "slow\n" {
+		t.Fatalf("stalled body = %q", body)
+	}
+	if got := resp.Trailer.Get("X-Kumquat-Report"); got != `{"ok":true}` {
+		t.Fatalf("stalled trailer = %q", got)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("stall finished in %v, configured 80ms", elapsed)
+	}
+	if p.Counts()[FaultStall] != 1 {
+		t.Fatalf("stall not counted: %v", p.Counts())
+	}
+}
+
+// TestScheduleDeterminism: the same seed deals the same fault sequence.
+func TestScheduleDeterminism(t *testing.T) {
+	rates := map[Fault]float64{FaultReset: 0.2, FaultStall: 0.2, FaultError503: 0.2}
+	a := NewSchedule(42, rates, 1)
+	b := NewSchedule(42, rates, 1)
+	for i := 0; i < 200; i++ {
+		if fa, fb := a.Next(), b.Next(); fa != fb {
+			t.Fatalf("draw %d diverged: %s vs %s", i, fa, fb)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// hopByHop lists headers that must not be forwarded across the proxy.
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// Proxy is a single-target chaos reverse proxy: every request draws a
+// fault from the schedule and is either sabotaged accordingly or
+// forwarded to the target with streaming and HTTP trailers preserved.
+// It implements http.Handler and is safe for concurrent use.
+type Proxy struct {
+	target    *url.URL
+	sched     *Schedule
+	transport http.RoundTripper
+	// stallFor is how long a FaultStall holds the response mid-body
+	// before completing it normally.
+	stallFor time.Duration
+
+	mu     sync.Mutex
+	counts map[Fault]int64
+}
+
+// New builds a proxy in front of the target base URL (e.g.
+// "http://127.0.0.1:9917"). stallFor sets the mid-body delay dealt by
+// FaultStall.
+func New(target string, sched *Schedule, stallFor time.Duration) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: bad target %q: %w", target, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("faultinject: target %q needs scheme and host", target)
+	}
+	return &Proxy{
+		target:    u,
+		sched:     sched,
+		transport: http.DefaultTransport,
+		stallFor:  stallFor,
+		counts:    make(map[Fault]int64),
+	}, nil
+}
+
+// Counts returns how many times each fault has been dealt so far
+// (FaultNone included, counting untouched pass-throughs).
+func (p *Proxy) Counts() map[Fault]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Fault]int64, len(p.counts))
+	for f, n := range p.counts {
+		out[f] = n
+	}
+	return out
+}
+
+// Total returns the number of actual faults dealt (everything except
+// FaultNone pass-throughs).
+func (p *Proxy) Total() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for f, c := range p.counts {
+		if f != FaultNone {
+			n += c
+		}
+	}
+	return n
+}
+
+// note records one dealt fault.
+func (p *Proxy) note(f Fault) {
+	p.mu.Lock()
+	p.counts[f]++
+	p.mu.Unlock()
+}
+
+// ServeHTTP deals one fault decision and serves the request under it.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault := p.sched.Next()
+	p.note(fault)
+	switch fault {
+	case FaultReset:
+		// Sever the connection before any response bytes reach the
+		// client. ErrAbortHandler is the stdlib's sanctioned way to
+		// abort mid-response without log noise.
+		panic(http.ErrAbortHandler)
+	case FaultError503:
+		http.Error(w, "faultinject: injected 503", http.StatusServiceUnavailable)
+		return
+	case FaultBusy429:
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "faultinject: injected 429", http.StatusTooManyRequests)
+		return
+	}
+	p.forward(w, r, fault)
+}
+
+// forward relays the request to the target, applying stall, truncate or
+// drop-trailer sabotage to the response stream as dealt.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, fault Fault) {
+	out := r.Clone(r.Context())
+	out.URL = &url.URL{
+		Scheme:   p.target.Scheme,
+		Host:     p.target.Host,
+		Path:     r.URL.Path,
+		RawQuery: r.URL.RawQuery,
+	}
+	out.Host = p.target.Host
+	out.RequestURI = ""
+	for _, h := range hopByHop {
+		out.Header.Del(h)
+	}
+	resp, err := p.transport.RoundTrip(out)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("faultinject: upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+
+	if fault != FaultDropTrailer {
+		for k := range resp.Trailer {
+			w.Header().Add("Trailer", k)
+		}
+	}
+	for k, vv := range resp.Header {
+		if k == "Trailer" {
+			continue
+		}
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	stalled := false
+	var written int64
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			written += int64(n)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			switch fault {
+			case FaultTruncate:
+				// Some bytes are out; sever the connection mid-chunk so
+				// the client sees an unexpected EOF, not a clean close.
+				panic(http.ErrAbortHandler)
+			case FaultStall:
+				if !stalled {
+					stalled = true
+					p.stall(r)
+				}
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	if fault == FaultTruncate && written == 0 {
+		// Empty upstream body: nothing to truncate mid-stream, so sever
+		// before the terminating chunk instead.
+		panic(http.ErrAbortHandler)
+	}
+	if fault == FaultDropTrailer {
+		return // body complete, trailers withheld
+	}
+	for k, vv := range resp.Trailer {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+}
+
+// stall sleeps the configured stall duration, bounded by the request's
+// context so an abandoned client does not pin the handler.
+func (p *Proxy) stall(r *http.Request) {
+	if p.stallFor <= 0 {
+		return
+	}
+	t := time.NewTimer(p.stallFor)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -10,16 +10,17 @@ import (
 
 	"kumquat"
 	"kumquat/internal/server"
+	"kumquat/internal/server/client"
 )
 
 // realServer boots a full kumquatd handler on an httptest server; the
 // round-trip tests run against the genuine service plane, not a stub.
-func realServer(t *testing.T) *Client {
+func realServer(t *testing.T) *client.Client {
 	t.Helper()
 	srv := server.New(server.Config{SynthOptions: kumquat.Options{Seed: 1}})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
-	return New(hs.URL, WithHTTPClient(hs.Client()))
+	return client.New(hs.URL, client.WithHTTPClient(hs.Client()))
 }
 
 // TestSynthesizeRoundTrip: a cold synthesize over HTTP returns the
@@ -58,7 +59,7 @@ func TestExecuteRoundTrip(t *testing.T) {
 
 	var got strings.Builder
 	rep, err := c.Execute(context.Background(), script,
-		ExecuteOptions{Mode: "optimized", K: 4}, strings.NewReader(input), &got)
+		client.ExecuteOptions{Mode: "optimized", K: 4}, strings.NewReader(input), &got)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,14 +112,14 @@ func TestErrBusy(t *testing.T) {
 		w.Write([]byte(`{"error":"server at capacity"}`)) //nolint:errcheck
 	}))
 	defer hs.Close()
-	c := New(hs.URL)
+	c := client.New(hs.URL)
 
-	if _, err := c.Synthesize(context.Background(), "wc -l"); !errors.Is(err, ErrBusy) {
-		t.Fatalf("synthesize on 429 = %v, want ErrBusy", err)
+	if _, err := c.Synthesize(context.Background(), "wc -l"); !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("synthesize on 429 = %v, want client.ErrBusy", err)
 	}
 	var out strings.Builder
-	if _, err := c.Execute(context.Background(), "sort", ExecuteOptions{}, nil, &out); !errors.Is(err, ErrBusy) {
-		t.Fatalf("execute on 429 = %v, want ErrBusy", err)
+	if _, err := c.Execute(context.Background(), "sort", client.ExecuteOptions{}, nil, &out); !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("execute on 429 = %v, want client.ErrBusy", err)
 	}
 }
 
@@ -147,7 +148,7 @@ func TestExecuteTrailerReportParsing(t *testing.T) {
 	defer hs.Close()
 
 	var out strings.Builder
-	rep, err := New(hs.URL).Execute(context.Background(), "sort", ExecuteOptions{}, nil, &out)
+	rep, err := client.New(hs.URL).Execute(context.Background(), "sort", client.ExecuteOptions{}, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestExecuteErrorTrailer(t *testing.T) {
 	defer hs.Close()
 
 	var out strings.Builder
-	_, err := New(hs.URL).Execute(context.Background(), "sort", ExecuteOptions{}, nil, &out)
+	_, err := client.New(hs.URL).Execute(context.Background(), "sort", client.ExecuteOptions{}, nil, &out)
 	if err == nil || !strings.Contains(err.Error(), "stage exploded mid-stream") {
 		t.Fatalf("error trailer not surfaced: %v", err)
 	}
@@ -182,7 +183,7 @@ func TestExecuteMissingReportTrailer(t *testing.T) {
 	}))
 	defer hs.Close()
 	var out strings.Builder
-	_, err := New(hs.URL).Execute(context.Background(), "sort", ExecuteOptions{}, nil, &out)
+	_, err := client.New(hs.URL).Execute(context.Background(), "sort", client.ExecuteOptions{}, nil, &out)
 	if err == nil || !strings.Contains(err.Error(), "no run report trailer") {
 		t.Fatalf("missing trailer not detected: %v", err)
 	}
@@ -197,7 +198,7 @@ func TestMalformedJSON(t *testing.T) {
 			w.Write([]byte("{not json")) //nolint:errcheck
 		}))
 		defer hs.Close()
-		if _, err := New(hs.URL).Synthesize(context.Background(), "wc -l"); err == nil {
+		if _, err := client.New(hs.URL).Synthesize(context.Background(), "wc -l"); err == nil {
 			t.Fatal("malformed synthesize body decoded without error")
 		}
 	})
@@ -205,7 +206,7 @@ func TestMalformedJSON(t *testing.T) {
 		hs := httptest.NewServer(trailerHandler("x", map[string]string{server.ReportTrailer: "{broken"}))
 		defer hs.Close()
 		var out strings.Builder
-		_, err := New(hs.URL).Execute(context.Background(), "sort", ExecuteOptions{}, nil, &out)
+		_, err := client.New(hs.URL).Execute(context.Background(), "sort", client.ExecuteOptions{}, nil, &out)
 		if err == nil || !strings.Contains(err.Error(), "decoding run report") {
 			t.Fatalf("malformed report trailer not detected: %v", err)
 		}
@@ -216,7 +217,7 @@ func TestMalformedJSON(t *testing.T) {
 			w.Write([]byte("<html>oops</html>")) //nolint:errcheck
 		}))
 		defer hs.Close()
-		_, err := New(hs.URL).Synthesize(context.Background(), "wc -l")
+		_, err := client.New(hs.URL).Synthesize(context.Background(), "wc -l")
 		if err == nil || !strings.Contains(err.Error(), "500") {
 			t.Fatalf("malformed error body did not fall back to status: %v", err)
 		}

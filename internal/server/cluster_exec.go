@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"kumquat"
+	"kumquat/internal/cluster"
+)
+
+// executeCluster serves an execute request through the cluster
+// coordinator: each pipeline's corpus is materialized, parallel stages
+// shard across the worker daemons (with retry, speculation and local
+// fallback), and the combined output streams back with the usual report
+// trailer — extended with the run's ClusterReport. Semantics mirror the
+// in-process unoptimized execution: stage boundaries are barriers, `>
+// FILE` redirects register into the request environment, and standard
+// input feeds the first stdin-reading pipeline.
+func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kumquat.Env, plan *kumquat.Plan, stdin io.Reader, combineWorkers int, sink io.Writer) {
+	// Cluster dispatch shards a materialized corpus, so drain stdin once
+	// up front (the status line is not committed yet: read failures can
+	// still answer 400 instead of hiding in a trailer).
+	stdinData := ""
+	if stdin != nil {
+		b, err := io.ReadAll(stdin)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+			return
+		}
+		stdinData = string(b)
+	}
+
+	rep := ExecuteReport{
+		Mode:        "cluster",
+		Parallelism: s.clu.Shards(),
+		SynthCache:  plan.SynthCache(),
+	}
+	plans := plan.PipelinePlans()
+	inputs := plan.Inputs()
+	outs := plan.OutputFiles()
+	runStats := &cluster.Stats{}
+	start := time.Now()
+	for i, pl := range plans {
+		corpus := ""
+		if inputs[i] != "" {
+			data, err := env.Read(inputs[i])
+			if err != nil {
+				w.Header().Set(ErrorTrailer, "input "+inputs[i]+": "+err.Error())
+				return
+			}
+			corpus = data
+		} else {
+			// Standard input feeds the first stdin-reading pipeline; later
+			// ones see it already drained, as in the local executor.
+			corpus, stdinData = stdinData, ""
+		}
+		out, stages, st, err := s.clu.ExecutePlan(r.Context(), pl, corpus, combineWorkers)
+		runStats.AddAll(st)
+		if err != nil {
+			w.Header().Set(ErrorTrailer, err.Error())
+			return
+		}
+		for j, cs := range stages {
+			rep.Stages = append(rep.Stages, ExecuteStage{
+				Spec:          cs.Spec,
+				Parallel:      cs.Remote,
+				Chunks:        cs.Shards,
+				WallMS:        ms(cs.Wall),
+				CombineWallMS: ms(cs.CombineWall),
+				BytesIn:       cs.BytesIn,
+				BytesOut:      cs.BytesOut,
+			})
+			// Redirected pipelines count toward neither stream total,
+			// matching the in-process report semantics.
+			if j == 0 && outs[i] == "" {
+				rep.BytesIn += cs.BytesIn
+			}
+		}
+		if outs[i] != "" {
+			env.Register(outs[i], out)
+			continue
+		}
+		n, werr := io.WriteString(sink, out)
+		rep.BytesOut += int64(n)
+		if werr != nil {
+			return // client gone mid-stream; nothing left to report to
+		}
+	}
+	rep.WallMS = ms(time.Since(start))
+	snap := runStats.Snapshot()
+	rep.Cluster = &ClusterReport{
+		Workers:         len(s.clu.Workers()),
+		Healthy:         s.clu.Healthy(),
+		Shards:          snap.Shards,
+		RemoteRuns:      snap.RemoteRuns,
+		LocalRuns:       snap.LocalRuns,
+		Retries:         snap.Retries,
+		Speculations:    snap.Speculations,
+		SpeculationWins: snap.SpeculationWins,
+		Ejections:       snap.Ejections,
+		Readmissions:    snap.Readmissions,
+	}
+	report, merr := json.Marshal(rep)
+	if merr != nil {
+		w.Header().Set(ErrorTrailer, merr.Error())
+		return
+	}
+	w.Header().Set(ReportTrailer, string(report))
+}

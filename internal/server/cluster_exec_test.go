@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kumquat"
+	"kumquat/internal/cluster"
+	"kumquat/internal/server"
+	"kumquat/internal/server/client"
+)
+
+// bootCluster starts n loopback worker daemons and a coordinator
+// dispatching to them, returning the coordinator's client and the worker
+// servers (for mid-test kills).
+func bootCluster(t *testing.T, n int) (*client.Client, []*httptest.Server) {
+	t.Helper()
+	var workers []*httptest.Server
+	var urls []string
+	for i := 0; i < n; i++ {
+		wsrv := server.New(server.Config{SynthOptions: kumquat.Options{Seed: 1}})
+		ws := httptest.NewServer(wsrv.Handler())
+		t.Cleanup(ws.Close)
+		workers = append(workers, ws)
+		// Bare host:port, the -workers flag's natural spelling — the
+		// runner must default the http:// scheme.
+		urls = append(urls, strings.TrimPrefix(ws.URL, "http://"))
+	}
+	csrv := server.New(server.Config{
+		SynthOptions: kumquat.Options{Seed: 1},
+		Cluster: cluster.Config{
+			Workers:        urls,
+			Shards:         n,
+			RetryMax:       2,
+			RetryBase:      time.Millisecond,
+			RetryCap:       10 * time.Millisecond,
+			SpeculateAfter: -1,
+			EjectAfter:     2,
+			EjectCooldown:  time.Minute,
+		},
+	})
+	cs := httptest.NewServer(csrv.Handler())
+	t.Cleanup(cs.Close)
+	return client.New(cs.URL), workers
+}
+
+// localOracle computes the serial in-process output for a script+input.
+func localOracle(t *testing.T, script, input string) string {
+	t.Helper()
+	sys := kumquat.New(kumquat.NewEnv())
+	plan, err := sys.Parallelize(script + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.Execute(context.Background(),
+		kumquat.WithMode(kumquat.Serial),
+		kumquat.WithStdin(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Output
+}
+
+// TestClusterExecuteEndToEnd: an execute through the coordinator shards
+// to real worker daemons, matches the serial oracle byte-for-byte, and
+// reports the dispatch accounting in the cluster trailer.
+func TestClusterExecuteEndToEnd(t *testing.T) {
+	c, _ := bootCluster(t, 3)
+	input := strings.Repeat("pear\napple\npear\nfig\n", 50)
+	script := "sort | uniq -c | sort -rn"
+
+	var out strings.Builder
+	rep, err := c.Execute(context.Background(), script,
+		client.ExecuteOptions{Cluster: "on"}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localOracle(t, script, input); out.String() != want {
+		t.Fatalf("cluster output diverges from oracle:\n%q\nvs\n%q", out.String(), want)
+	}
+	if rep.Mode != "cluster" {
+		t.Fatalf("report mode = %q, want cluster", rep.Mode)
+	}
+	if rep.Cluster == nil {
+		t.Fatal("cluster trailer missing from report")
+	}
+	if rep.Cluster.RemoteRuns == 0 || rep.Cluster.Shards == 0 {
+		t.Fatalf("no remote dispatch recorded: %+v", rep.Cluster)
+	}
+	if rep.Cluster.Workers != 3 || rep.Cluster.Healthy != 3 {
+		t.Fatalf("worker accounting wrong: %+v", rep.Cluster)
+	}
+}
+
+// TestClusterExecuteDegradesOnDeadWorkers: with every worker killed, the
+// coordinator falls back to local execution — same bytes, LocalRuns
+// counted, workers ejected.
+func TestClusterExecuteDegradesOnDeadWorkers(t *testing.T) {
+	c, workers := bootCluster(t, 2)
+	for _, ws := range workers {
+		ws.Close()
+	}
+	input := "b\na\nc\na\n"
+	script := "sort | uniq -c"
+
+	var out strings.Builder
+	rep, err := c.Execute(context.Background(), script,
+		client.ExecuteOptions{Cluster: "on"}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatalf("dead cluster must degrade, not fail: %v", err)
+	}
+	if want := localOracle(t, script, input); out.String() != want {
+		t.Fatalf("degraded output corrupted: %q vs %q", out.String(), want)
+	}
+	if rep.Cluster == nil || rep.Cluster.LocalRuns == 0 {
+		t.Fatalf("local fallback not recorded: %+v", rep.Cluster)
+	}
+	if rep.Cluster.RemoteRuns != 0 {
+		t.Fatalf("dead cluster reported remote runs: %+v", rep.Cluster)
+	}
+	if rep.Cluster.Ejections == 0 {
+		t.Fatalf("dead workers never ejected: %+v", rep.Cluster)
+	}
+}
+
+// TestClusterParamValidation: cluster=on without workers is a client
+// error; cluster=off on a coordinator forces the in-process path.
+func TestClusterParamValidation(t *testing.T) {
+	_, plain := newTestServer(t, server.Config{SynthOptions: kumquat.Options{Seed: 1}})
+	var out strings.Builder
+	_, err := plain.Execute(context.Background(), "sort",
+		client.ExecuteOptions{Cluster: "on"}, strings.NewReader("b\na\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "no workers") {
+		t.Fatalf("cluster=on without workers = %v, want config error", err)
+	}
+
+	c, _ := bootCluster(t, 2)
+	out.Reset()
+	rep, err := c.Execute(context.Background(), "sort",
+		client.ExecuteOptions{Cluster: "off"}, strings.NewReader("b\na\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode == "cluster" || rep.Cluster != nil {
+		t.Fatalf("cluster=off still dispatched remotely: %+v", rep)
+	}
+	if out.String() != "a\nb\n" {
+		t.Fatalf("local path output = %q", out.String())
+	}
+}
+
+// TestClusterVersionAndMetrics: coordinator surfaces its worker list in
+// /v1/version and the cluster gauges in /metrics.
+func TestClusterVersionAndMetrics(t *testing.T) {
+	c, _ := bootCluster(t, 3)
+	ctx := context.Background()
+	ver, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ver.Workers) != 3 {
+		t.Fatalf("version workers = %v, want 3 entries", ver.Workers)
+	}
+	var out strings.Builder
+	if _, err := c.Execute(ctx, "wc -l", client.ExecuteOptions{Cluster: "on"},
+		strings.NewReader("a\nb\nc\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"kumquatd_cluster_workers 3", "kumquatd_cluster_healthy 3", "kumquatd_cluster_shards"} {
+		if !strings.Contains(metrics, g) {
+			t.Fatalf("metrics missing %q:\n%s", g, metrics)
+		}
+	}
+}

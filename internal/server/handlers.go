@@ -172,6 +172,23 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// cluster selects the dispatch plane: "on" demands the coordinator
+	// (400 without workers), "off" forces in-process execution, and the
+	// default uses the cluster whenever one is configured.
+	useCluster := s.clu != nil
+	switch q.Get("cluster") {
+	case "", "auto":
+	case "on":
+		if s.clu == nil {
+			writeError(w, http.StatusBadRequest, "cluster=on but no workers are configured")
+			return
+		}
+	case "off":
+		useCluster = false
+	default:
+		writeError(w, http.StatusBadRequest, "cluster must be on, off or auto")
+		return
+	}
 	release := s.admit(w, r)
 	if release == nil {
 		return
@@ -214,6 +231,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Trailer", ReportTrailer+", "+ErrorTrailer)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	fw := &flushWriter{w: w}
+	if useCluster {
+		s.executeCluster(w, r, env, plan, stdin, combineWorkers, fw)
+		return
+	}
 	rep, err := plan.Execute(r.Context(),
 		kumquat.WithParallelism(k),
 		kumquat.WithMode(mode),

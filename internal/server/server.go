@@ -10,8 +10,14 @@
 //	                      stdout streams out, RunReport arrives as the
 //	                      X-Kumquat-Report trailer
 //	GET  /v1/version      build info + service limits
-//	GET  /healthz         liveness
+//	GET  /healthz         liveness (200 even while draining)
+//	GET  /readyz          readiness (503 once draining starts)
 //	GET  /metrics         Prometheus text exposition
+//
+// With Config.Cluster.Workers set, the server is additionally a cluster
+// coordinator: execute requests shard their input across the worker
+// daemons (internal/cluster) unless the request opts out with
+// cluster=off.
 //
 // The server owns the production concerns the library leaves to its
 // caller: bounded admission (at most MaxInFlight requests do work, at
@@ -25,9 +31,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"kumquat"
+	"kumquat/internal/cluster"
 )
 
 // Config tunes a Server. The zero value serves with defaults.
@@ -52,6 +60,11 @@ type Config struct {
 	// unlimited). Execute inputs stream, but scripts that bind the body
 	// to a `cat FILE` source materialize it.
 	MaxBodyBytes int64
+	// Cluster configures coordinator mode: with a non-empty Workers list
+	// the execute endpoint shards parallel stages across those worker
+	// daemons (with retries, speculation and local fallback) instead of
+	// running them in-process.
+	Cluster cluster.Config
 }
 
 // withDefaults resolves the zero-value fields.
@@ -80,6 +93,11 @@ type Server struct {
 	sys *kumquat.System
 	adm *admission
 	met *metrics
+	// clu is the cluster coordinator; nil when no workers are configured.
+	clu *cluster.Coordinator
+	// draining flips once shutdown starts: readiness goes 503 (stop
+	// admitting new clients) while liveness stays 200 (still draining).
+	draining atomic.Bool
 }
 
 // New builds a Server; its System (and therefore the warm synthesis
@@ -90,13 +108,29 @@ func New(cfg Config) *Server {
 	if env == nil {
 		env = kumquat.NewEnv()
 	}
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		sys: kumquat.NewWithOptions(env, cfg.SynthOptions),
 		adm: newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
 		met: newMetrics(),
 	}
+	if len(cfg.Cluster.Workers) > 0 {
+		s.clu = cluster.New(cfg.Cluster)
+	}
+	return s
 }
+
+// Coordinator returns the cluster coordinator, or nil when the server
+// runs without workers.
+func (s *Server) Coordinator() *cluster.Coordinator { return s.clu }
+
+// SetDraining flips the readiness surface: once on, /readyz answers 503
+// so load balancers and cluster coordinators stop sending new work,
+// while /healthz keeps answering 200 for the duration of the drain.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether the server is in its shutdown drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // System exposes the shared system, e.g. for pre-warming caches before
 // serving.
@@ -110,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
 	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics) // not self-instrumented
 	return mux
 }
@@ -161,19 +196,41 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 	return release
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe: 200 as long as the process
+// serves, including the shutdown drain (a draining server is alive —
+// killing it would sever the streams it is finishing).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 503 once the drain starts, so
+// new work routes elsewhere while in-flight streams finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
 // handleVersion reports build info and service limits.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, VersionResponse{
+	resp := VersionResponse{
 		BuildInfo:   kumquat.Info(),
 		MaxInFlight: s.cfg.MaxInFlight,
 		QueueDepth:  s.cfg.QueueDepth,
-	})
+	}
+	if s.clu != nil {
+		resp.Workers = s.clu.Workers()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders the Prometheus exposition, sampling the
@@ -181,13 +238,29 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.SynthCacheStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, []gauge{
+	gauges := []gauge{
 		{"kumquatd_in_flight", "Requests currently holding an execution slot.", float64(s.adm.inFlight())},
 		{"kumquatd_queued", "Requests waiting for an execution slot.", float64(s.adm.queued())},
 		{"kumquatd_synth_cache_hits", "Cumulative synthesis memory-cache hits.", float64(st.Hits)},
 		{"kumquatd_synth_cache_disk_hits", "Cumulative synthesis disk-cache hits.", float64(st.DiskHits)},
 		{"kumquatd_synth_cache_misses", "Cumulative full synthesis runs.", float64(st.Misses)},
-	})
+	}
+	if s.clu != nil {
+		cs := s.clu.TotalStats()
+		gauges = append(gauges,
+			gauge{"kumquatd_cluster_workers", "Configured cluster workers.", float64(len(s.clu.Workers()))},
+			gauge{"kumquatd_cluster_healthy", "Workers currently in the rotation.", float64(s.clu.Healthy())},
+			gauge{"kumquatd_cluster_shards", "Cumulative shards dispatched.", float64(cs.Shards)},
+			gauge{"kumquatd_cluster_remote_runs", "Cumulative shards resolved on workers.", float64(cs.RemoteRuns)},
+			gauge{"kumquatd_cluster_local_runs", "Cumulative shards degraded to local execution.", float64(cs.LocalRuns)},
+			gauge{"kumquatd_cluster_retries", "Cumulative shard re-dispatches after failures.", float64(cs.Retries)},
+			gauge{"kumquatd_cluster_speculations", "Cumulative speculative straggler re-dispatches.", float64(cs.Speculations)},
+			gauge{"kumquatd_cluster_speculation_wins", "Speculative duplicates whose result arrived first.", float64(cs.SpeculationWins)},
+			gauge{"kumquatd_cluster_ejections", "Cumulative worker ejections from the rotation.", float64(cs.Ejections)},
+			gauge{"kumquatd_cluster_readmissions", "Cumulative probe-gated worker re-admissions.", float64(cs.Readmissions)},
+		)
+	}
+	s.met.write(w, gauges)
 }
 
 // writeJSON writes a JSON response body with the given status.

@@ -267,6 +267,21 @@ func (p *Plan) Inputs() []string {
 	return inputs
 }
 
+// PipelinePlans exposes the compiled per-pipeline plans for execution
+// planes outside this package — kumquatd's cluster coordinator walks the
+// stages itself to dispatch shards to remote workers. The slice is
+// shared with the Plan, not copied.
+func (p *Plan) PipelinePlans() []*pipeline.Plan { return p.plans }
+
+// OutputFiles returns each pipeline's `> FILE` redirect target, in
+// script order ("" = the pipeline writes to the output sink). Paired
+// with PipelinePlans for out-of-package execution planes.
+func (p *Plan) OutputFiles() []string {
+	out := make([]string, len(p.outs))
+	copy(out, p.outs)
+	return out
+}
+
 // Stages describes each stage's planning verdict, in order.
 func (p *Plan) Stages() []StageInfo {
 	var out []StageInfo
