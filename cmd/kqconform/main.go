@@ -14,6 +14,10 @@
 //	kqconform -serve=false -adversarial=false
 //	kqconform -cluster -require-faults 5 # chaos: 3-worker cluster behind
 //	                                     # fault proxies + mid-suite kills
+//	kqconform -cluster -trace-sample TRACE.json
+//	                                     # also export one stitched
+//	                                     # coordinator+worker trace
+//	                                     # (Chrome trace-event JSON)
 //
 // The exit status is 0 when every configuration reproduced the serial
 // oracle, 1 otherwise; diverging cases are shrunk (unless -shrink=false)
@@ -44,6 +48,7 @@ func main() {
 	requireFaults := flag.Int("require-faults", 0, "with -cluster: fail unless at least this many faults were injected AND the run retried and speculated at least once")
 	adversarial := flag.Bool("adversarial", true, "stress-validate combiners on adversarial corpora")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool (0 = GOMAXPROCS)")
+	traceSample := flag.String("trace-sample", "", "with -cluster: write the sampled stitched trace as Chrome trace-event JSON to this file (fails if no trace was captured)")
 	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
 	flag.Parse()
 
@@ -79,6 +84,26 @@ func main() {
 
 	summary(rep)
 	ok := rep.OK
+	if *traceSample != "" {
+		// The sample is the PR's proof artifact: one clustered run's spans
+		// stitched across coordinator and workers, viewable in
+		// chrome://tracing. No sample on a run that asked for one is a
+		// failure, not a shrug.
+		if rep.Cluster == nil || rep.Cluster.TraceSample == nil {
+			fmt.Fprintln(os.Stderr, "kqconform: -trace-sample: no stitched trace was captured (need -cluster)")
+			ok = false
+		} else if data, terr := rep.Cluster.TraceSample.ChromeTrace(); terr != nil {
+			fmt.Fprintln(os.Stderr, "kqconform: -trace-sample:", terr)
+			ok = false
+		} else if werr := os.WriteFile(*traceSample, data, 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "kqconform: -trace-sample:", werr)
+			ok = false
+		} else {
+			fmt.Fprintf(os.Stderr, "kqconform: trace sample: %d spans over %d processes (%d retry, %d speculate events) -> %s\n",
+				rep.Cluster.TraceSpans, rep.Cluster.TraceProcs,
+				rep.Cluster.TraceRetryEvents, rep.Cluster.TraceSpeculationEvents, *traceSample)
+		}
+	}
 	if *requireRules > 0 {
 		// A suite that never triggers a rewrite proves nothing about it;
 		// the floor turns "zero divergences" into "zero divergences while

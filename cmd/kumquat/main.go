@@ -18,7 +18,10 @@
 //	    -mode selects the execution configuration, -fuse=off disables the
 //	    graph-walking fused executor (the stage-at-a-time ablation), and
 //	    -report prints per-stage wall times, byte counts, chunk counts and
-//	    the fired optimizer rewrites to stderr.
+//	    the fired optimizer rewrites to stderr, and -trace FILE writes a
+//	    Chrome trace-event JSON timeline of the run (synthesis, planning,
+//	    stages, chunk batches, combines and fused regions) for
+//	    chrome://tracing or Perfetto.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"kumquat"
+	"kumquat/internal/obs"
 )
 
 func main() {
@@ -66,7 +70,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   kumquat synth [-synth-workers N] [-synth-cache DIR] '<command>'
   kumquat plan [-synth-workers N] [-synth-cache DIR] '<pipeline>'
-  kumquat run [-k N] [-mode MODE] [-fuse on|off] [-combine-workers N] [-report] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
+  kumquat run [-k N] [-mode MODE] [-fuse on|off] [-combine-workers N] [-report] [-trace FILE] [-synth-workers N] [-synth-cache DIR] [-input FILE]... '<pipeline>'
   kumquat combine -g '<combiner>' -cmd '<command>' FILE1 FILE2
   kumquat version`)
 }
@@ -192,6 +196,7 @@ func runRun(args []string) error {
 	combineWorkers := fs.Int("combine-workers", 0,
 		"combine-plane tree-reduction workers (0 = match the chunk pool)")
 	report := fs.Bool("report", false, "print the per-stage execution report to stderr")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run (open in chrome://tracing or Perfetto)")
 	withSynth := synthFlags(fs)
 	var inputs multiFlag
 	fs.Var(&inputs, "input", "host file to load into the environment (repeatable)")
@@ -223,16 +228,27 @@ func runRun(args []string) error {
 		env.Register(path, string(data))
 	}
 	sys := kumquat.NewWithOptions(env, withSynth(kumquat.Options{Seed: 1}))
-	plan, err := sys.Parallelize(fs.Arg(0) + "\n")
-	if err != nil {
-		return err
-	}
 	// First interrupt cancels the run; stop() re-arms the default SIGINT
 	// disposition as soon as the context fires, so a second Ctrl-C kills
 	// the process even if a stage is blocked reading a silent stdin.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	context.AfterFunc(ctx, stop)
+	// With -trace, planning and execution run under a root span; every
+	// layer below (plan, synth, stages, chunk batches, combines, fused
+	// regions) attaches children via the context, and the finished trace
+	// exports as Chrome trace-event JSON.
+	var rootSpan *obs.Span
+	if *traceOut != "" {
+		trc := obs.NewTracer(1, "kumquat")
+		// The library's Execute records its own "run" span; the CLI root
+		// wraps it together with planning under one tree.
+		ctx, rootSpan = trc.StartTrace(ctx, "cli")
+	}
+	plan, err := sys.ParallelizeContext(ctx, fs.Arg(0)+"\n")
+	if err != nil {
+		return err
+	}
 	rep, err := plan.Execute(ctx,
 		kumquat.WithParallelism(*k),
 		kumquat.WithMode(m),
@@ -247,6 +263,22 @@ func runRun(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if rootSpan != nil {
+		rootSpan.End()
+		td, ok := rootSpan.Tracer().Trace(rootSpan.SpanContext().TraceID)
+		if !ok {
+			return fmt.Errorf("run: trace %s not recorded", rootSpan.SpanContext().TraceID)
+		}
+		data, merr := td.ChromeTrace()
+		if merr != nil {
+			return fmt.Errorf("run: encoding trace: %w", merr)
+		}
+		if werr := os.WriteFile(*traceOut, data, 0o644); werr != nil {
+			return fmt.Errorf("run: writing trace: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "kumquat: wrote %d spans to %s (open in chrome://tracing)\n",
+			len(td.Spans), *traceOut)
 	}
 	if *report {
 		writeReport(rep)

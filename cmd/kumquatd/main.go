@@ -17,9 +17,16 @@
 //	                      (fuse=off pins the stage-at-a-time optimized path;
 //	                      the report names the fired optimizer rewrites)
 //	GET  /v1/version      build info + service limits
+//	GET  /v1/traces/{id}  recorded trace as Chrome trace-event JSON
+//	                      (?format=raw for span records); execute requests
+//	                      opt in with ?trace=on, ring sized by -trace-buffer
 //	GET  /healthz         liveness (200 even while draining)
 //	GET  /readyz          readiness (503 once draining starts)
 //	GET  /metrics         Prometheus text exposition
+//	GET  /debug/pprof/    runtime profiles, mounted only with -pprof
+//
+// Lifecycle and request logs are structured (log/slog, text to stderr);
+// -log-level picks the floor and traced requests carry a trace_id key.
 //
 // With -workers, kumquatd runs as a cluster coordinator: execute
 // requests split their input into line-aligned shards dispatched to the
@@ -37,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,12 +82,29 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-attempt deadline of one remote shard (0 = 30s)")
 	retryMax := flag.Int("retry-max", 0, "re-dispatches per failed shard attempt chain (0 = 3)")
 	speculateAfter := flag.Duration("speculate-after", 0, "minimum shard age before speculative re-dispatch (0 = 2s, negative disables)")
+	traceBuffer := flag.Int("trace-buffer", 64, "traces retained in the in-memory ring for GET /v1/traces/{id} (0 disables tracing)")
+	logLevel := flag.String("log-level", "info", "structured-log level: debug, info, warn, error")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes runtime internals; keep off on untrusted networks)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
 	if *version {
 		kumquat.Info().Fprint(os.Stdout, "kumquatd")
 		return
+	}
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "kumquatd: -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	// The server treats TraceBuffer 0 as "use the default", so the flag's
+	// 0 ("disable") maps to the config's explicit negative sentinel.
+	tb := *traceBuffer
+	if tb <= 0 {
+		tb = -1
 	}
 
 	srv := server.New(server.Config{
@@ -91,6 +116,10 @@ func main() {
 		MaxInFlight:        *maxInFlight,
 		QueueDepth:         *queueDepth,
 		DefaultParallelism: *defaultK,
+		TraceBuffer:        tb,
+		TraceProc:          "kumquatd@" + *addr,
+		Logger:             logger,
+		EnablePprof:        *pprof,
 		Cluster: cluster.Config{
 			Workers:        splitWorkers(*workers),
 			Shards:         *shards,
@@ -100,7 +129,7 @@ func main() {
 		},
 	})
 	if ws := srv.Coordinator(); ws != nil {
-		fmt.Fprintf(os.Stderr, "kumquatd: coordinator mode, %d workers, %d shards\n", len(ws.Workers()), ws.Shards())
+		logger.Info("coordinator mode", "workers", len(ws.Workers()), "shards", ws.Shards())
 	}
 	hs := &http.Server{
 		Addr:              *addr,
@@ -117,26 +146,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "kumquatd: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr, "trace_buffer", tb, "pprof", *pprof)
 		errc <- hs.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "kumquatd:", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 		stop() // re-arm default signal disposition for a hard second hit
 		// Flip readiness before closing the listener so probes and
 		// coordinators stop routing work here while streams finish.
 		srv.SetDraining(true)
-		fmt.Fprintf(os.Stderr, "kumquatd: draining (%v budget)\n", *drain)
+		logger.Info("draining", "budget", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintln(os.Stderr, "kumquatd: shutdown:", err)
+			logger.Error("shutdown failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "kumquatd: drained")
+		logger.Info("drained")
 	}
 }

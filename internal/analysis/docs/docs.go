@@ -31,6 +31,7 @@ var Packages = []string{
 	"kumquat/internal/faultinject",
 	"kumquat/internal/conformance",
 	"kumquat/internal/dataflow",
+	"kumquat/internal/obs",
 	"kumquat/internal/analysis/...",
 }
 

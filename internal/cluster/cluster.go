@@ -31,9 +31,11 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
+	"kumquat/internal/obs"
 	"kumquat/internal/pipeline"
 	"kumquat/internal/textio"
 )
@@ -90,6 +92,18 @@ type Config struct {
 	EjectCooldown time.Duration
 	// ProbeTimeout bounds one re-admission probe (default 2s).
 	ProbeTimeout time.Duration
+	// Logger receives structured dispatch-health logs (worker ejection
+	// and readmission); nil discards them.
+	Logger *slog.Logger
+	// OnShardLatency, when non-nil, observes each shard's total
+	// resolution time — dispatch through final success or failure,
+	// including retries, speculation and local fallback. kumquatd wires
+	// it to the /metrics shard-latency histogram.
+	OnShardLatency func(time.Duration)
+	// OnRetryBackoff, when non-nil, observes each computed retry backoff
+	// delay before the coordinator sleeps it. kumquatd wires it to the
+	// /metrics retry-backoff histogram.
+	OnRetryBackoff func(time.Duration)
 }
 
 // withDefaults resolves the zero-value fields.
@@ -129,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout == 0 {
 		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -198,19 +215,25 @@ func (co *Coordinator) ExecutePlan(ctx context.Context, plan *pipeline.Plan, cor
 			return "", stages, st, err
 		}
 		stat := StageStat{Spec: sp.Spec, BytesIn: int64(len(data))}
+		sctx, ssp := obs.StartSpan(ctx, "cluster-stage")
+		ssp.Attr("spec", sp.Spec)
 		start := time.Now()
 		var next string
 		var err error
 		if co.dispatchable(sp) {
 			chunks := textio.ChunkLines(data, co.cfg.Shards)
+			ssp.AttrInt("shards", int64(len(chunks)))
 			var outs []string
-			outs, err = co.runShards(ctx, sp, chunks, st)
+			outs, err = co.runShards(sctx, sp, chunks, st)
 			if err == nil {
 				stat.Remote = true
 				stat.Shards = len(chunks)
+				_, csp := obs.StartSpan(sctx, "combine")
+				csp.AttrInt("parts", int64(len(outs)))
 				cstart := time.Now()
 				next, err = sp.Synth.Combiner.CombineKTree(outs, combineWorkers)
 				stat.CombineWall = time.Since(cstart)
+				csp.End()
 				if err != nil {
 					err = fmt.Errorf("cluster: stage %q combine: %w", sp.Spec, err)
 				}
@@ -221,6 +244,7 @@ func (co *Coordinator) ExecutePlan(ctx context.Context, plan *pipeline.Plan, cor
 				err = fmt.Errorf("cluster: stage %q: %w", sp.Spec, err)
 			}
 		}
+		ssp.End()
 		if err != nil {
 			return "", stages, st, err
 		}

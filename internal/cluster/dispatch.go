@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"kumquat/internal/obs"
 	"kumquat/internal/pipeline"
 	"kumquat/internal/server/client"
 )
@@ -58,7 +59,10 @@ func (co *Coordinator) runShards(ctx context.Context, sp *pipeline.StagePlan, ch
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i], errs[i] = co.runShard(ctx, sp, chunks[i], lat, st)
+			sctx, ssp := obs.StartSpan(ctx, "shard")
+			ssp.AttrInt("shard", int64(i))
+			outs[i], errs[i] = co.runShard(sctx, sp, chunks[i], lat, st)
+			ssp.End()
 		}(i)
 	}
 	wg.Wait()
@@ -80,6 +84,11 @@ func (co *Coordinator) runShards(ctx context.Context, sp *pipeline.StagePlan, ch
 func (co *Coordinator) runShard(ctx context.Context, sp *pipeline.StagePlan, chunk string, lat *latencies, st *Stats) (string, error) {
 	st.Shards.Add(1)
 	start := time.Now()
+	if co.cfg.OnShardLatency != nil {
+		// Total shard resolution time: dispatch through final success or
+		// failure, local fallback included.
+		defer func() { co.cfg.OnShardLatency(time.Since(start)) }()
+	}
 	out, err := co.dispatch(ctx, sp.Spec, chunk, lat, st)
 	if err == nil {
 		lat.record(time.Since(start))
@@ -92,6 +101,9 @@ func (co *Coordinator) runShard(ctx context.Context, sp *pipeline.StagePlan, chu
 	// Graceful degradation: the worker set failed this shard, so run it
 	// in-process — the cluster only ever costs speed, not correctness.
 	st.LocalRuns.Add(1)
+	if span := obs.FromContext(ctx); span.Enabled() {
+		span.EventAttr("local-fallback", "remote-error", err.Error())
+	}
 	out, lerr := sp.Cmd.Run(chunk)
 	if lerr != nil {
 		return "", fmt.Errorf("local fallback (remote: %v): %w", err, lerr)
@@ -143,6 +155,7 @@ func (co *Coordinator) dispatch(ctx context.Context, spec, chunk string, lat *la
 			if r.err == nil {
 				if r.dup {
 					st.SpeculationWins.Add(1)
+					obs.FromContext(ctx).Event("speculation-win")
 				}
 				cancel() // abandon the losing attempt, if still running
 				return r.out, nil
@@ -159,6 +172,7 @@ func (co *Coordinator) dispatch(ctx context.Context, spec, chunk string, lat *la
 			// to a different worker than the one sitting on the original.
 			timerC = nil
 			st.Speculations.Add(1)
+			obs.FromContext(ctx).Event("speculate")
 			launch(true)
 			pending++
 		case <-actx.Done():
@@ -188,12 +202,18 @@ func (co *Coordinator) specDelay(lat *latencies) (time.Duration, bool) {
 // floored at a 429's Retry-After) and retry on the next worker, up to
 // RetryMax re-dispatches.
 func (co *Coordinator) attempts(ctx context.Context, spec, chunk string, st *Stats) (string, error) {
+	span := obs.FromContext(ctx)
 	var last error
 	var avoid *worker
 	for try := 0; try <= co.cfg.RetryMax; try++ {
 		if try > 0 {
 			st.Retries.Add(1)
-			if !sleepCtx(ctx, co.backoff(try-1, last)) {
+			span.EventInt("retry", "attempt", int64(try))
+			d := co.backoff(try-1, last)
+			if co.cfg.OnRetryBackoff != nil {
+				co.cfg.OnRetryBackoff(d)
+			}
+			if !sleepCtx(ctx, d) {
 				return "", ctx.Err()
 			}
 		}
@@ -210,6 +230,7 @@ func (co *Coordinator) attempts(ctx context.Context, spec, chunk string, st *Sta
 			}
 			continue
 		}
+		span.EventAttr("dispatch", "worker", w.addr)
 		actx, cancel := context.WithTimeout(ctx, co.cfg.ShardTimeout)
 		out, err := w.runner.Run(actx, spec, chunk)
 		cancel()
@@ -217,7 +238,7 @@ func (co *Coordinator) attempts(ctx context.Context, spec, chunk string, st *Sta
 			co.pool.success(w)
 			return out, nil
 		}
-		co.pool.failure(w, st)
+		co.pool.failure(ctx, w, st)
 		last = err
 		avoid = w
 		if ctx.Err() != nil {

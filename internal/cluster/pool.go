@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"kumquat/internal/obs"
 )
 
 // worker is one remote daemon's health record.
@@ -74,6 +76,8 @@ func (p *pool) pick(ctx context.Context, avoid *worker, st *Stats) *worker {
 			w.ejected = false
 			w.fails = 0
 			st.Readmissions.Add(1)
+			obs.FromContext(ctx).EventAttr("readmit-worker", "worker", w.addr)
+			p.cfg.Logger.Info("worker readmitted", "worker", w.addr)
 		}
 		w.inflight++
 		p.mu.Unlock()
@@ -133,15 +137,24 @@ func (p *pool) success(w *worker) {
 }
 
 // failure releases a claim after a failed attempt, ejecting the worker
-// once its consecutive-failure streak reaches the threshold.
-func (p *pool) failure(w *worker, st *Stats) {
+// once its consecutive-failure streak reaches the threshold. ctx carries
+// the dispatching shard's span, so ejections land on the trace that
+// caused them.
+func (p *pool) failure(ctx context.Context, w *worker, st *Stats) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	w.inflight--
 	w.fails++
+	ejected := false
+	fails := w.fails
 	if !w.ejected && w.fails >= p.cfg.EjectAfter {
 		w.ejected = true
 		w.ejectedAt = time.Now()
 		st.Ejections.Add(1)
+		ejected = true
+	}
+	p.mu.Unlock()
+	if ejected {
+		obs.FromContext(ctx).EventAttr("eject-worker", "worker", w.addr)
+		p.cfg.Logger.Warn("worker ejected", "worker", w.addr, "fails", fails)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"kumquat"
 	"kumquat/internal/cluster"
 	"kumquat/internal/faultinject"
+	"kumquat/internal/obs"
 	"kumquat/internal/server"
 	"kumquat/internal/server/client"
 )
@@ -54,6 +55,20 @@ type ChaosReport struct {
 	// (-1 = never, for very short suites).
 	WorkerKilledAt  int `json:"worker_killed_at"`
 	ClusterKilledAt int `json:"cluster_killed_at"`
+	// TraceSample is a full stitched trace from the most eventful case of
+	// the suite (preferring runs that saw retries, speculation and remote
+	// shards): coordinator spans plus the worker spans shipped back in
+	// trace trailers, fetched from the coordinator's ring right after the
+	// run so eviction can't race it. Nil only if every fetch failed.
+	TraceSample *obs.TraceData `json:"trace_sample,omitempty"`
+	// TraceSpans, TraceProcs, TraceRetryEvents and TraceSpeculationEvents
+	// summarize the sample: span count, distinct process names (≥2 proves
+	// cross-worker stitching), and how many retry/speculate span events it
+	// carries.
+	TraceSpans             int `json:"trace_spans"`
+	TraceProcs             int `json:"trace_procs"`
+	TraceRetryEvents       int `json:"trace_retry_events"`
+	TraceSpeculationEvents int `json:"trace_speculation_events"`
 }
 
 // ClusterOptions configures ReplayCluster.
@@ -143,6 +158,7 @@ func ReplayCluster(ctx context.Context, sys *kumquat.System, cases []*Case, opts
 	for i := 0; i < workers; i++ {
 		wsrv := server.New(server.Config{
 			SynthOptions: kumquat.Options{Seed: 1, Workers: opts.SynthWorkers},
+			TraceProc:    fmt.Sprintf("worker%d", i),
 		})
 		wn, err := bootNode(wsrv.Handler(), &serving)
 		if err != nil {
@@ -170,6 +186,7 @@ func ReplayCluster(ctx context.Context, sys *kumquat.System, cases []*Case, opts
 	// re-dispatch while healthy shards never do.
 	csrv := server.New(server.Config{
 		SynthOptions: kumquat.Options{Seed: 1, Workers: opts.SynthWorkers},
+		TraceProc:    "coordinator",
 		Cluster: cluster.Config{
 			Workers:         proxyURLs,
 			Shards:          workers,
@@ -201,6 +218,7 @@ func ReplayCluster(ctx context.Context, sys *kumquat.System, cases []*Case, opts
 		WorkerKilledAt: -1, ClusterKilledAt: -1,
 	}
 	killOne, killAll := len(cases)*6/10, len(cases)*8/10
+	bestTrace := -1 // score of the sampled trace's run so far
 	for i, cs := range cases {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -227,8 +245,11 @@ func ReplayCluster(ctx context.Context, sys *kumquat.System, cases []*Case, opts
 			oracle.out, oracle.err = execCase(ctx, plan, cs, Config{Mode: kumquat.Serial.String(), K: 1})
 		}
 
+		// Every case runs traced: tracing rides the same requests the
+		// untraced replay would make, so the proxies' deterministic fault
+		// schedules are unperturbed by the observability plane.
 		var out strings.Builder
-		run, gotErr := c.Execute(ctx, cs.Script, client.ExecuteOptions{Cluster: "on"},
+		run, gotErr := c.Execute(ctx, cs.Script, client.ExecuteOptions{Cluster: "on", Trace: "on"},
 			strings.NewReader(cs.Corpus), &out)
 		if detail, ok := diverges(oracle.out, oracle.err, out.String(), gotErr); !ok {
 			rep.Divergences = append(rep.Divergences, Divergence{
@@ -248,7 +269,46 @@ func ReplayCluster(ctx context.Context, sys *kumquat.System, cases []*Case, opts
 			if run.Cluster.LocalRuns > 0 {
 				rep.DegradedCases++
 			}
+			// Sample the most eventful run's stitched trace. Fetch it
+			// immediately — the coordinator's ring evicts old traces, so
+			// waiting until the end of the suite could lose it.
+			if run.Trace != nil {
+				score := 0
+				if run.Cluster.RemoteRuns > 0 {
+					score++
+				}
+				if run.Cluster.Retries > 0 {
+					score += 2
+				}
+				if run.Cluster.Speculations > 0 {
+					score += 2
+				}
+				if score > bestTrace {
+					// Direct to the coordinator: trace fetches never touch
+					// the fault proxies, so they can't perturb schedules.
+					if td, terr := c.TraceData(ctx, run.Trace.TraceID); terr == nil {
+						bestTrace = score
+						rep.TraceSample = td
+					}
+				}
+			}
 		}
+	}
+	if td := rep.TraceSample; td != nil {
+		rep.TraceSpans = len(td.Spans)
+		procs := map[string]bool{}
+		for _, sp := range td.Spans {
+			procs[sp.Proc] = true
+			for _, ev := range sp.Events {
+				switch ev.Name {
+				case "retry":
+					rep.TraceRetryEvents++
+				case "speculate":
+					rep.TraceSpeculationEvents++
+				}
+			}
+		}
+		rep.TraceProcs = len(procs)
 	}
 	for _, p := range proxies {
 		for f, n := range p.Counts() {

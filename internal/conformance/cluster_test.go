@@ -43,4 +43,33 @@ func TestReplayClusterHandcrafted(t *testing.T) {
 	if rep.LocalRuns == 0 {
 		t.Fatalf("killing every worker produced no local fallback: %+v", rep)
 	}
+	// Every case ran traced, so the replay must have sampled one stitched
+	// trace: coordinator + worker spans in a single tree, with the chaos
+	// plane's recoveries visible as span events whenever the sampled run
+	// actually retried or speculated.
+	if rep.TraceSample == nil {
+		t.Fatal("chaos replay captured no trace sample")
+	}
+	if rep.TraceSpans < 2 {
+		t.Fatalf("trace sample has %d spans, want a real tree", rep.TraceSpans)
+	}
+	if rep.TraceProcs < 2 {
+		// Only an all-local run (possible on a tiny suite with early
+		// kills) can legitimately collapse to one process; this suite's
+		// kill schedule leaves healthy cases before the kills.
+		t.Fatalf("trace sample covers %d processes, want coordinator+worker stitching: %+v",
+			rep.TraceProcs, rep.TraceSample)
+	}
+	ids := map[string]bool{}
+	for _, sp := range rep.TraceSample.Spans {
+		ids[sp.TraceID] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("trace sample mixes %d trace ids, want exactly one", len(ids))
+	}
+	if rep.Retries > 0 && rep.Speculations > 0 &&
+		rep.TraceRetryEvents == 0 && rep.TraceSpeculationEvents == 0 {
+		t.Fatalf("suite retried (%d) and speculated (%d) but the sampled trace shows neither",
+			rep.Retries, rep.Speculations)
+	}
 }

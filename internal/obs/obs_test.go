@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	tr := NewTracer(4, "test")
+	_, sp := tr.StartTrace(context.Background(), "root")
+	id := sp.SpanContext().TraceID
+	if id.IsZero() {
+		t.Fatal("StartTrace produced a zero trace id")
+	}
+	back, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatalf("ParseTraceID(%q): %v", id.String(), err)
+	}
+	if back != id {
+		t.Fatalf("round trip changed the id: %v != %v", back, id)
+	}
+	if _, err := ParseTraceID("zz"); err == nil {
+		t.Fatal("ParseTraceID accepted malformed input")
+	}
+	if _, err := ParseTraceID(strings.Repeat("0", 32)); err == nil {
+		t.Fatal("ParseTraceID accepted the all-zero id")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(4, "test")
+	_, sp := tr.StartTrace(context.Background(), "root")
+	h := sp.SpanContext().Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("malformed traceparent %q", h)
+	}
+	sc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected %q", h)
+	}
+	if sc != sp.SpanContext() {
+		t.Fatalf("round trip changed the context: %+v != %+v", sc, sp.SpanContext())
+	}
+	for _, bad := range []string{
+		"", "00-xyz", "01-" + h[3:], strings.Repeat("0", 55),
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01",
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent accepted %q", bad)
+		}
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	tr := NewTracer(4, "coordinator")
+	ctx, root := tr.StartTrace(context.Background(), "execute")
+	root.Attr("mode", "optimized")
+	root.AttrInt("k", 8)
+
+	cctx, child := StartSpan(ctx, "stage")
+	child.Event("retry")
+	child.EventAttr("dispatch", "worker", "w1")
+	child.EventInt("attempt", "n", 2)
+	_, grand := StartSpan(cctx, "combine")
+	grand.End()
+	child.End()
+	root.End()
+
+	td, ok := tr.Trace(root.SpanContext().TraceID)
+	if !ok {
+		t.Fatal("finished trace not retrievable")
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+		if sp.Proc != "coordinator" {
+			t.Errorf("span %q proc = %q, want coordinator", sp.Name, sp.Proc)
+		}
+		if sp.TraceID != td.TraceID {
+			t.Errorf("span %q trace id %q != %q", sp.Name, sp.TraceID, td.TraceID)
+		}
+	}
+	if byName["execute"].ParentID != "" {
+		t.Errorf("root has parent %q", byName["execute"].ParentID)
+	}
+	if byName["stage"].ParentID != byName["execute"].SpanID {
+		t.Errorf("stage parent %q != root %q", byName["stage"].ParentID, byName["execute"].SpanID)
+	}
+	if byName["combine"].ParentID != byName["stage"].SpanID {
+		t.Errorf("combine parent %q != stage %q", byName["combine"].ParentID, byName["stage"].SpanID)
+	}
+	if got := byName["stage"].Events; len(got) != 3 || got[0].Name != "retry" || got[1].Attrs[0].Value != "w1" || got[2].Attrs[0].Value != "2" {
+		t.Errorf("stage events wrong: %+v", got)
+	}
+	var haveMode, haveK bool
+	for _, a := range byName["execute"].Attrs {
+		haveMode = haveMode || (a.Key == "mode" && a.Value == "optimized")
+		haveK = haveK || (a.Key == "k" && a.Value == "8")
+	}
+	if !haveMode || !haveK {
+		t.Errorf("root attrs missing mode/k: %+v", byName["execute"].Attrs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(2, "test")
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		_, sp := tr.StartTrace(context.Background(), "t")
+		sp.End()
+		ids = append(ids, sp.SpanContext().TraceID)
+	}
+	if _, ok := tr.Trace(ids[0]); ok {
+		t.Fatal("oldest trace should have been evicted at capacity 2")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := tr.Trace(id); !ok {
+			t.Fatalf("trace %v evicted too early", id)
+		}
+	}
+}
+
+func TestMergeStitchesAndDedups(t *testing.T) {
+	coord := NewTracer(4, "coordinator")
+	worker := NewTracer(4, "worker")
+
+	ctx, root := coord.StartTrace(context.Background(), "execute")
+	_, shard := StartSpan(ctx, "shard")
+
+	// The worker side joins via traceparent and records its own spans.
+	sc, ok := ParseTraceparent(shard.SpanContext().Traceparent())
+	if !ok {
+		t.Fatal("worker rejected the shard traceparent")
+	}
+	wctx, wroot := worker.StartRemote(context.Background(), "rpc execute", sc)
+	_, wstage := StartSpan(wctx, "stage")
+	wstage.End()
+	wroot.End()
+	recs := wroot.Records()
+	if len(recs) != 2 {
+		t.Fatalf("worker recorded %d spans, want 2", len(recs))
+	}
+
+	// The coordinator merges the shipped records — twice, as duplicate
+	// trailers would under retries; dedup keeps one copy.
+	coord.Merge(recs)
+	coord.Merge(recs)
+	shard.End()
+	root.End()
+
+	td, ok := coord.Trace(root.SpanContext().TraceID)
+	if !ok {
+		t.Fatal("stitched trace not retrievable")
+	}
+	if len(td.Spans) != 4 {
+		t.Fatalf("stitched trace has %d spans, want 4 (root, shard, rpc, stage)", len(td.Spans))
+	}
+	procs := map[string]bool{}
+	var rpcParent string
+	for _, sp := range td.Spans {
+		procs[sp.Proc] = true
+		if sp.Name == "rpc execute" {
+			rpcParent = sp.ParentID
+		}
+	}
+	if !procs["coordinator"] || !procs["worker"] {
+		t.Fatalf("stitched trace procs = %v, want both coordinator and worker", procs)
+	}
+	if rpcParent != shard.SpanContext().SpanID.String() {
+		t.Fatalf("worker root parent %q != shard span %q", rpcParent, shard.SpanContext().SpanID)
+	}
+}
+
+// TestTraceDisabledAllocations pins the disabled-tracer hot path at
+// zero allocations: an untraced context through StartSpan, attribute
+// and event annotation, and End must not allocate — the streaming
+// executors ride this path on every chunk of every untraced run.
+func TestTraceDisabledAllocations(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		sctx, sp := StartSpan(ctx, "stage")
+		sp.Attr("spec", "sort")
+		sp.AttrInt("chunks", 8)
+		sp.Event("retry")
+		sp.EventAttr("dispatch", "worker", "w1")
+		sp.EventInt("attempt", "n", 1)
+		if sp.Enabled() {
+			t.Fatal("span enabled on untraced context")
+		}
+		_, child := StartSpan(sctx, "combine")
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracer path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestNilTracerDisabled(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartTrace(context.Background(), "x")
+	if sp.Enabled() {
+		t.Fatal("nil tracer produced an enabled span")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil tracer leaked a span into the context")
+	}
+	if _, sp := tr.StartRemote(ctx, "x", SpanContext{}); sp.Enabled() {
+		t.Fatal("nil tracer produced an enabled remote span")
+	}
+	tr.Merge([]SpanRecord{{TraceID: "x"}}) // must not panic
+	if _, ok := tr.Trace(TraceID{}); ok {
+		t.Fatal("nil tracer returned a trace")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(2, "test")
+	_, sp := tr.StartTrace(context.Background(), "root")
+	sp.End()
+	sp.End()
+	td, _ := tr.Trace(sp.SpanContext().TraceID)
+	if len(td.Spans) != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", len(td.Spans))
+	}
+	if td.Spans[0].DurUS < 0 {
+		t.Fatalf("negative duration %d", td.Spans[0].DurUS)
+	}
+	if since := time.Now().UnixMicro() - td.Spans[0].StartUS; since < 0 {
+		t.Fatalf("span starts in the future (delta %dµs)", since)
+	}
+}

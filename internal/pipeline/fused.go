@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"kumquat/internal/dataflow"
+	"kumquat/internal/obs"
 	"kumquat/internal/textio"
 	"kumquat/internal/unix"
 )
@@ -83,7 +85,10 @@ func regionRun(p *Plan, r *dataflow.Region) unix.Command {
 // runRegionChunks executes the region's command on each chunk
 // concurrently, bounded by the shared worker pool (the fused analogue of
 // runChunks).
-func (ex *executor) runRegionChunks(cmd unix.Command, chunks []string) ([]string, error) {
+func (ex *executor) runRegionChunks(ctx context.Context, cmd unix.Command, chunks []string) ([]string, error) {
+	_, span := obs.StartSpan(ctx, "chunks")
+	span.AttrInt("n", int64(len(chunks)))
+	defer span.End()
 	outs := make([]string, len(chunks))
 	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
@@ -165,6 +170,17 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 		}
 		cmd := regionRun(p, r)
 		last := ri == len(prog.Regions)-1
+		rctx, rsp := obs.StartSpan(ex.ctx, "region")
+		if rsp.Enabled() {
+			rsp.Attr("exit", rm.Exit)
+			rsp.AttrInt("stages", int64(len(r.Nodes)))
+			if len(rm.Rules) > 0 {
+				rsp.Attr("rules", strings.Join(rm.Rules, ","))
+			}
+			if r.Fused {
+				rsp.Attr("fused", "true")
+			}
+		}
 		start := time.Now()
 		switch {
 		case lazy != nil:
@@ -177,6 +193,7 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 			var bytesIn atomic.Int64
 			counted := &countReader{r: unix.ContextReader(ex.ctx, lazy), n: &bytesIn}
 			if err := unix.Exec(ex.ctx, cmd, counted, &sb); err != nil {
+				rsp.End()
 				return metrics, fmt.Errorf("pipeline: stage %q: %w", cmd.Spec(), err)
 			}
 			rm.BytesIn = bytesIn.Load()
@@ -186,29 +203,34 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 			// A split exit: the chunk views feed this (parallel) region
 			// directly, no re-split.
 			rm.BytesIn = totalLen(chunks)
-			outs, err := ex.runRegionChunks(cmd, chunks)
+			outs, err := ex.runRegionChunks(rctx, cmd, chunks)
 			if err != nil {
+				rsp.End()
 				return metrics, err
 			}
 			rm.Chunks = len(chunks)
 			chunks = nil
-			if err := ex.regionExit(p, r, last, outs, &rm, &data, &chunks, &lazy); err != nil {
+			if err := ex.regionExit(rctx, p, r, last, outs, &rm, &data, &chunks, &lazy); err != nil {
+				rsp.End()
 				return metrics, err
 			}
 		default:
 			rm.BytesIn = int64(len(data))
 			if r.Parallel && ex.k > 1 {
-				outs, err := ex.runRegionChunks(cmd, textio.ChunkLines(data, ex.k))
+				outs, err := ex.runRegionChunks(rctx, cmd, textio.ChunkLines(data, ex.k))
 				if err != nil {
+					rsp.End()
 					return metrics, err
 				}
 				rm.Chunks = ex.k
-				if err := ex.regionExit(p, r, last, outs, &rm, &data, &chunks, &lazy); err != nil {
+				if err := ex.regionExit(rctx, p, r, last, outs, &rm, &data, &chunks, &lazy); err != nil {
+					rsp.End()
 					return metrics, err
 				}
 			} else {
 				next, err := cmd.Run(data)
 				if err != nil {
+					rsp.End()
 					return metrics, fmt.Errorf("pipeline: stage %q: %w", cmd.Spec(), err)
 				}
 				data = next
@@ -216,6 +238,7 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 			}
 		}
 		rm.Wall = time.Since(start)
+		rsp.End()
 		ex.attribute(metrics, r, &rm)
 		if info != nil {
 			info.Regions = append(info.Regions, rm)
@@ -238,7 +261,7 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 
 // regionExit applies the region's exit to its chunk outputs, updating the
 // stream state (exactly one of data/chunks/lazy becomes current).
-func (ex *executor) regionExit(p *Plan, r *dataflow.Region, last bool, outs []string, rm *RegionMetrics, data *string, chunks *[]string, lazy *io.Reader) error {
+func (ex *executor) regionExit(ctx context.Context, p *Plan, r *dataflow.Region, last bool, outs []string, rm *RegionMetrics, data *string, chunks *[]string, lazy *io.Reader) error {
 	exit := r.Exit
 	if last {
 		exit = dataflow.ExitCombine
@@ -260,7 +283,7 @@ func (ex *executor) regionExit(p *Plan, r *dataflow.Region, last bool, outs []st
 	default:
 		sp := p.Stages[r.Nodes[len(r.Nodes)-1]]
 		var scratch StageMetrics
-		combined, err := ex.combine(sp, outs, &scratch)
+		combined, err := ex.combine(ctx, sp, outs, &scratch)
 		if err != nil {
 			return err
 		}

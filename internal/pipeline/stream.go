@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kumquat/internal/obs"
 	"kumquat/internal/textio"
 	"kumquat/internal/unix"
 )
@@ -245,10 +246,13 @@ func WithCombineWorkers(n int) ExecOpt {
 // combine recombines a parallel stage's chunk outputs through the
 // stage's synthesized combiner on the tree-reduction plane, recording
 // the combine's share of the stage wall in m.CombineWall.
-func (ex *executor) combine(sp *StagePlan, outs []string, m *StageMetrics) (string, error) {
+func (ex *executor) combine(ctx context.Context, sp *StagePlan, outs []string, m *StageMetrics) (string, error) {
+	_, span := obs.StartSpan(ctx, "combine")
+	span.AttrInt("parts", int64(len(outs)))
 	start := time.Now()
 	v, err := sp.Synth.Combiner.CombineKTree(outs, ex.combineWorkers)
 	m.CombineWall = time.Since(start)
+	span.End()
 	if err != nil {
 		return "", fmt.Errorf("pipeline: stage %q combine: %w", sp.Spec, err)
 	}
@@ -359,6 +363,9 @@ func (p *Plan) sourceReader(env *unix.Env, stdin io.Reader) (io.Reader, error) {
 // runChunks executes the stage's command on each chunk concurrently,
 // bounded by the shared worker pool.
 func (ex *executor) runChunks(ctx context.Context, sp *StagePlan, chunks []string) ([]string, error) {
+	_, span := obs.StartSpan(ctx, "chunks")
+	span.AttrInt("n", int64(len(chunks)))
+	defer span.End()
 	outs := make([]string, len(chunks))
 	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
@@ -421,24 +428,29 @@ func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parall
 		if err := ex.ctx.Err(); err != nil {
 			return metrics, err
 		}
+		sctx, ssp := obs.StartSpan(ex.ctx, "stage")
+		ssp.Attr("spec", sp.Spec)
 		m := StageMetrics{Spec: sp.Spec, BytesIn: int64(len(data))}
 		start := time.Now()
 		var next string
 		if parallel && sp.Parallel && ex.k > 1 {
 			chunks := textio.ChunkLines(data, ex.k)
-			outs, err := ex.runChunks(ex.ctx, sp, chunks)
+			outs, err := ex.runChunks(sctx, sp, chunks)
 			if err != nil {
+				ssp.End()
 				return metrics, err
 			}
 			m.Chunks = len(chunks)
-			next, err = ex.combine(sp, outs, &m)
+			next, err = ex.combine(sctx, sp, outs, &m)
 			if err != nil {
+				ssp.End()
 				return metrics, err
 			}
 		} else {
 			var err error
 			next, err = sp.Cmd.Run(data)
 			if err != nil {
+				ssp.End()
 				return metrics, fmt.Errorf("pipeline: stage %q: %w", sp.Spec, err)
 			}
 		}
@@ -446,6 +458,7 @@ func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parall
 		m.BytesOut = int64(len(next))
 		metrics = append(metrics, m)
 		data = next
+		ssp.End()
 	}
 	if _, err := io.WriteString(out, data); err != nil {
 		return metrics, err
@@ -471,7 +484,7 @@ func (ex *executor) runSplitStage(ctx context.Context, sp *StagePlan, chunks []s
 		m.BytesOut = totalLen(outs)
 		return outs, "", nil
 	}
-	combined, err = ex.combine(sp, outs, m)
+	combined, err = ex.combine(ctx, sp, outs, m)
 	if err != nil {
 		return nil, "", err
 	}
@@ -571,14 +584,18 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 			finish(err)
 			return metrics, err
 		}
+		sctx, ssp := obs.StartSpan(ctx, "stage")
+		ssp.Attr("spec", sp.Spec)
 		if chunks != nil {
 			// Split stream: the planner guarantees only parallel stages
 			// follow an eliminated combiner.
 			if !sp.Parallel || ex.k <= 1 {
+				ssp.End()
 				finish(errSplitSerial)
 				return metrics, fmt.Errorf("%w %q", errSplitSerial, sp.Spec)
 			}
-			keep, combined, cerr := ex.runSplitStage(ctx, sp, chunks, m)
+			keep, combined, cerr := ex.runSplitStage(sctx, sp, chunks, m)
+			ssp.End()
 			if cerr != nil {
 				finish(cerr)
 				return metrics, cerr
@@ -592,7 +609,10 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 			continue
 		}
 		if !haveData && streamableStage(sp) {
-			// Live stream, incremental stage: overlap through a pipe.
+			// Live stream, incremental stage: overlap through a pipe. The
+			// stage span is handed to the goroutine and ends when the
+			// stage's stream drains, so its duration covers the overlap.
+			ssp.Attr("streamed", "true")
 			pr, pw := io.Pipe()
 			pipes = append(pipes, pr)
 			in := cur
@@ -602,6 +622,7 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 			streamWG.Add(1)
 			go func(sp *StagePlan, m *StageMetrics) {
 				defer streamWG.Done()
+				defer ssp.End()
 				cr := &countReader{r: in, n: &bytesIn}
 				cw := &countWriter{w: pw, n: &bytesOut}
 				serr := unix.Exec(ctx, sp.Cmd, cr, cw)
@@ -628,6 +649,7 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 			drainStart := time.Now()
 			buf, rerr := io.ReadAll(unix.ContextReader(ctx, cur))
 			if rerr != nil {
+				ssp.End()
 				finish(rerr)
 				return metrics, rerr
 			}
@@ -637,7 +659,8 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 		// Materialized stream.
 		m.BytesIn = int64(len(data))
 		if sp.Parallel && ex.k > 1 {
-			keep, combined, cerr := ex.runSplitStage(ctx, sp, textio.ChunkLines(data, ex.k), m)
+			keep, combined, cerr := ex.runSplitStage(sctx, sp, textio.ChunkLines(data, ex.k), m)
+			ssp.End()
 			if cerr != nil {
 				finish(cerr)
 				return metrics, cerr
@@ -651,6 +674,7 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 		} else {
 			start := time.Now()
 			outStr, serr := sp.Cmd.Run(data)
+			ssp.End()
 			if serr != nil {
 				serr = fmt.Errorf("pipeline: stage %q: %w", sp.Spec, serr)
 				finish(serr)
@@ -696,12 +720,15 @@ func (ex *executor) runPipelined(p *Plan, src io.Reader, out io.Writer) ([]Stage
 		m := &metrics[i]
 		m.Spec = sp.Spec
 		m.Streamed = unix.CanStream(sp.Cmd)
+		_, ssp := obs.StartSpan(ctx, "stage")
+		ssp.Attr("spec", sp.Spec)
 		pr, pw := io.Pipe()
 		pipes = append(pipes, pr)
 		in := reader
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer ssp.End()
 			var bytesIn, bytesOut atomic.Int64
 			cr := &countReader{r: in, n: &bytesIn}
 			cw := &countWriter{w: pw, n: &bytesOut}

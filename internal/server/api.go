@@ -41,6 +41,9 @@ type ExecuteRegion = api.ExecuteRegion
 // cluster-mode execute.
 type ClusterReport = api.ClusterReport
 
+// TraceSummary is the ?trace=on report stub pointing at the full trace.
+type TraceSummary = api.TraceSummary
+
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse = api.ErrorResponse
 
@@ -55,4 +58,7 @@ const (
 	// ErrorTrailer carries an execution error that occurred after the
 	// response status was already committed.
 	ErrorTrailer = api.ErrorTrailer
+	// TraceTrailer carries a worker's span records back to the
+	// coordinator on traced cluster dispatches.
+	TraceTrailer = api.TraceTrailer
 )

@@ -109,6 +109,20 @@ type ExecuteReport struct {
 	// Cluster carries the coordinator's shard-dispatch accounting when the
 	// request executed in cluster mode; omitted otherwise.
 	Cluster *ClusterReport `json:"cluster,omitempty"`
+	// Trace summarizes the request's recorded trace when the request
+	// asked for one (?trace=on); the full trace is retrievable at
+	// GET /v1/traces/{trace_id} until the ring evicts it.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary is the ?trace=on trailer stub: enough to fetch the full
+// trace without inflating every report with span records.
+type TraceSummary struct {
+	// TraceID is the recorded trace's identifier (32 hex digits).
+	TraceID string `json:"trace_id"`
+	// Spans is the number of spans recorded so far, stitched remote
+	// spans included.
+	Spans int `json:"spans"`
 }
 
 // ExecuteStage is one stage's slice of an ExecuteReport.
@@ -196,4 +210,8 @@ const (
 	// ErrorTrailer carries an execution error that occurred after the
 	// response status was already committed.
 	ErrorTrailer = "X-Kumquat-Error"
+	// TraceTrailer carries the worker's span records (a JSON array of
+	// obs.SpanRecord) back to the coordinator on traced cluster
+	// dispatches, so the coordinator can stitch them into one trace.
+	TraceTrailer = "X-Kumquat-Trace"
 )

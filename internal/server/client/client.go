@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"kumquat/internal/obs"
 	"kumquat/internal/server/api"
 )
 
@@ -146,6 +147,10 @@ type ExecuteOptions struct {
 	// server: "" = server default (on when workers are configured),
 	// "off" forces local execution, "on" requires cluster mode.
 	Cluster string
+	// Trace asks the server to record a trace of the request ("on");
+	// "" = off. The report's Trace summary then carries the trace id to
+	// fetch via TraceData.
+	Trace string
 }
 
 // Execute runs a script on the server: stdin streams up as the request
@@ -174,6 +179,9 @@ func (c *Client) Execute(ctx context.Context, script string, opts ExecuteOptions
 	if opts.Cluster != "" {
 		q.Set("cluster", opts.Cluster)
 	}
+	if opts.Trace != "" {
+		q.Set("trace", opts.Trace)
+	}
 	target := c.base + "/v1/execute?" + q.Encode()
 
 	seeker, _ := stdin.(io.Seeker)
@@ -194,6 +202,13 @@ func (c *Client) Execute(ctx context.Context, script string, opts ExecuteOptions
 		if err != nil {
 			return false, err
 		}
+		// Propagate trace context: a span in ctx (a coordinator's shard
+		// dispatch) rides the W3C traceparent header, and the worker's
+		// spans come back in the trace trailer for stitching.
+		sp := obs.FromContext(ctx)
+		if sp != nil {
+			req.Header.Set("traceparent", sp.SpanContext().Traceparent())
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return rewindable, err
@@ -208,6 +223,14 @@ func (c *Client) Execute(ctx context.Context, script string, opts ExecuteOptions
 			return false, fmt.Errorf("client: streaming output: %w", err)
 		}
 		// Trailers are populated only after the body has been fully read.
+		if sp != nil {
+			if raw := resp.Trailer.Get(api.TraceTrailer); raw != "" {
+				var recs []obs.SpanRecord
+				if json.Unmarshal([]byte(raw), &recs) == nil {
+					sp.Tracer().Merge(recs)
+				}
+			}
+		}
 		if msg := resp.Trailer.Get(api.ErrorTrailer); msg != "" {
 			return false, fmt.Errorf("client: execute failed: %s", msg)
 		}
@@ -243,6 +266,17 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
 	return n, err
+}
+
+// TraceData fetches one recorded trace from the server's ring by id (32
+// hex digits, as carried in the execute report's Trace summary). The
+// server serves traces until the ring evicts them.
+func (c *Client) TraceData(ctx context.Context, id string) (*obs.TraceData, error) {
+	var td obs.TraceData
+	if err := c.getJSON(ctx, "/v1/traces/"+url.PathEscape(id)+"?format=raw", &td); err != nil {
+		return nil, err
+	}
+	return &td, nil
 }
 
 // Version fetches the server's build info and service limits.

@@ -8,6 +8,7 @@ import (
 
 	"kumquat"
 	"kumquat/internal/cluster"
+	"kumquat/internal/obs"
 )
 
 // executeCluster serves an execute request through the cluster
@@ -18,7 +19,7 @@ import (
 // in-process unoptimized execution: stage boundaries are barriers, `>
 // FILE` redirects register into the request environment, and standard
 // input feeds the first stdin-reading pipeline.
-func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kumquat.Env, plan *kumquat.Plan, stdin io.Reader, combineWorkers int, sink io.Writer) {
+func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kumquat.Env, plan *kumquat.Plan, stdin io.Reader, combineWorkers int, sink io.Writer, span *obs.Span, remoteTrace bool) {
 	// Cluster dispatch shards a materialized corpus, so drain stdin once
 	// up front (the status line is not committed yet: read failures can
 	// still answer 400 instead of hiding in a trailer).
@@ -26,6 +27,7 @@ func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kum
 	if stdin != nil {
 		b, err := io.ReadAll(stdin)
 		if err != nil {
+			s.endTrace(w, span, remoteTrace, nil)
 			writeError(w, http.StatusBadRequest, "reading request body: %v", err)
 			return
 		}
@@ -47,6 +49,7 @@ func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kum
 		if inputs[i] != "" {
 			data, err := env.Read(inputs[i])
 			if err != nil {
+				s.endTrace(w, span, remoteTrace, nil)
 				w.Header().Set(ErrorTrailer, "input "+inputs[i]+": "+err.Error())
 				return
 			}
@@ -59,6 +62,7 @@ func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kum
 		out, stages, st, err := s.clu.ExecutePlan(r.Context(), pl, corpus, combineWorkers)
 		runStats.AddAll(st)
 		if err != nil {
+			s.endTrace(w, span, remoteTrace, nil)
 			w.Header().Set(ErrorTrailer, err.Error())
 			return
 		}
@@ -85,10 +89,12 @@ func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kum
 		n, werr := io.WriteString(sink, out)
 		rep.BytesOut += int64(n)
 		if werr != nil {
-			return // client gone mid-stream; nothing left to report to
+			span.End() // keep the trace complete even though the client is gone
+			return
 		}
 	}
 	rep.WallMS = ms(time.Since(start))
+	s.endTrace(w, span, remoteTrace, &rep)
 	snap := runStats.Snapshot()
 	rep.Cluster = &ClusterReport{
 		Workers:         len(s.clu.Workers()),

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"kumquat"
+	"kumquat/internal/obs"
 )
 
 // handleSynthesize serves POST /v1/synthesize: one command spec in, the
@@ -189,11 +191,43 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cluster must be on, off or auto")
 		return
 	}
+	wantTrace := false
+	switch q.Get("trace") {
+	case "", "off":
+	case "on":
+		wantTrace = true
+	default:
+		writeError(w, http.StatusBadRequest, "trace must be on or off")
+		return
+	}
 	release := s.admit(w, r)
 	if release == nil {
 		return
 	}
 	defer release()
+
+	// Start the request's trace: a traceparent header joins an upstream
+	// coordinator's trace (the spans ship back in the trace trailer);
+	// ?trace=on starts a fresh local one, retrievable at /v1/traces/{id}.
+	var span *obs.Span
+	remoteTrace := false
+	if s.trc != nil {
+		if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			var ctx context.Context
+			ctx, span = s.trc.StartRemote(r.Context(), "rpc execute", sc)
+			r = r.WithContext(ctx)
+			remoteTrace = true
+		} else if wantTrace {
+			var ctx context.Context
+			ctx, span = s.trc.StartTrace(r.Context(), "execute")
+			r = r.WithContext(ctx)
+		}
+	}
+	if span != nil {
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.traceID = span.SpanContext().TraceID.String()
+		}
+	}
 
 	body := io.Reader(r.Body)
 	if s.cfg.MaxBodyBytes > 0 {
@@ -228,11 +262,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Declare trailers before the body commits, then stream.
-	w.Header().Set("Trailer", ReportTrailer+", "+ErrorTrailer)
+	trailers := ReportTrailer + ", " + ErrorTrailer
+	if remoteTrace {
+		trailers += ", " + TraceTrailer
+	}
+	w.Header().Set("Trailer", trailers)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	fw := &flushWriter{w: w}
 	if useCluster {
-		s.executeCluster(w, r, env, plan, stdin, combineWorkers, fw)
+		s.executeCluster(w, r, env, plan, stdin, combineWorkers, fw, span, remoteTrace)
 		return
 	}
 	rep, err := plan.Execute(r.Context(),
@@ -247,15 +285,41 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		// as a trailer. (Before the first byte this still downgrades the
 		// response to an empty 200 + error trailer — the price of
 		// streaming.)
+		s.endTrace(w, span, remoteTrace, nil)
 		w.Header().Set(ErrorTrailer, err.Error())
 		return
 	}
-	report, merr := json.Marshal(executeReport(rep))
+	out := executeReport(rep)
+	s.endTrace(w, span, remoteTrace, &out)
+	report, merr := json.Marshal(out)
 	if merr != nil {
 		w.Header().Set(ErrorTrailer, merr.Error())
 		return
 	}
 	w.Header().Set(ReportTrailer, string(report))
+}
+
+// endTrace finishes a traced execute. On a remote (coordinator-joined)
+// trace it ships the worker's span records back in the trace trailer;
+// on a local ?trace=on it stamps the report with the trace summary the
+// client uses to fetch the full trace.
+func (s *Server) endTrace(w http.ResponseWriter, span *obs.Span, remote bool, rep *ExecuteReport) {
+	if span == nil {
+		return
+	}
+	span.End()
+	if remote {
+		if recs, err := json.Marshal(span.Records()); err == nil {
+			w.Header().Set(TraceTrailer, string(recs))
+		}
+		return
+	}
+	if rep != nil {
+		rep.Trace = &TraceSummary{
+			TraceID: span.SpanContext().TraceID.String(),
+			Spans:   len(span.Records()),
+		}
+	}
 }
 
 // executeReport converts a RunReport to its wire form.

@@ -45,6 +45,11 @@ type metrics struct {
 	mu     sync.Mutex
 	counts map[countKey]int64    // endpoint+code → requests
 	hists  map[string]*histogram // endpoint → latencies
+	// shard and backoff histogram the cluster plane's per-shard
+	// resolution times and computed retry-backoff delays (fed through
+	// the coordinator's OnShardLatency/OnRetryBackoff hooks).
+	shard   *histogram
+	backoff *histogram
 }
 
 // countKey labels one requests_total series.
@@ -55,9 +60,25 @@ type countKey struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		counts: map[countKey]int64{},
-		hists:  map[string]*histogram{},
+		counts:  map[countKey]int64{},
+		hists:   map[string]*histogram{},
+		shard:   newHistogram(),
+		backoff: newHistogram(),
 	}
+}
+
+// observeShard logs one cluster shard's total resolution time.
+func (m *metrics) observeShard(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shard.observe(d.Seconds())
+}
+
+// observeBackoff logs one computed retry-backoff delay.
+func (m *metrics) observeBackoff(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.backoff.observe(d.Seconds())
 }
 
 // record logs one finished request.
@@ -79,9 +100,27 @@ type gauge struct {
 	value      float64
 }
 
+// writeHist renders one histogram series in the Prometheus text
+// exposition format. The caller holds m.mu.
+func writeHist(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, bound := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
 // write renders the registry in the Prometheus text exposition format,
 // appending the given gauges (sampled by the caller at scrape time).
-func (m *metrics) write(w io.Writer, gauges []gauge) {
+// cluster adds the shard-latency and retry-backoff histograms, which
+// only a coordinator populates.
+func (m *metrics) write(w io.Writer, gauges []gauge, cluster bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -119,6 +158,13 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 		fmt.Fprintf(w, "kumquatd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
 		fmt.Fprintf(w, "kumquatd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
 		fmt.Fprintf(w, "kumquatd_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+
+	if cluster {
+		writeHist(w, "kumquatd_cluster_shard_seconds",
+			"Cluster shard resolution time, dispatch through final outcome (retries, speculation and local fallback included).", m.shard)
+		writeHist(w, "kumquatd_cluster_retry_backoff_seconds",
+			"Computed retry-backoff delays before shard re-dispatch.", m.backoff)
 	}
 
 	for _, g := range gauges {

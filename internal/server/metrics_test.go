@@ -15,8 +15,12 @@ func TestMetricsExposition(t *testing.T) {
 	m.record("synthesize", 400, 50*time.Microsecond)
 	m.record("execute", 200, 2*time.Second)
 
+	m.observeShard(40 * time.Millisecond)
+	m.observeShard(3 * time.Second)
+	m.observeBackoff(80 * time.Millisecond)
+
 	var b strings.Builder
-	m.write(&b, []gauge{{"kumquatd_in_flight", "In-flight requests.", 3}})
+	m.write(&b, []gauge{{"kumquatd_in_flight", "In-flight requests.", 3}}, true)
 	out := b.String()
 
 	for _, want := range []string{
@@ -35,10 +39,24 @@ func TestMetricsExposition(t *testing.T) {
 		"# TYPE kumquatd_request_seconds histogram",
 		"# TYPE kumquatd_in_flight gauge",
 		"kumquatd_in_flight 3",
+		"# TYPE kumquatd_cluster_shard_seconds histogram",
+		`kumquatd_cluster_shard_seconds_bucket{le="0.05"} 1`,
+		`kumquatd_cluster_shard_seconds_bucket{le="+Inf"} 2`,
+		"kumquatd_cluster_shard_seconds_count 2",
+		"# TYPE kumquatd_cluster_retry_backoff_seconds histogram",
+		`kumquatd_cluster_retry_backoff_seconds_bucket{le="0.1"} 1`,
+		"kumquatd_cluster_retry_backoff_seconds_count 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
+	}
+
+	// A worker (non-coordinator) exposition omits the cluster histograms.
+	var wb strings.Builder
+	m.write(&wb, nil, false)
+	if strings.Contains(wb.String(), "kumquatd_cluster_shard_seconds") {
+		t.Error("non-cluster exposition leaked shard histogram")
 	}
 }
 

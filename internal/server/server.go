@@ -29,13 +29,16 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"kumquat"
 	"kumquat/internal/cluster"
+	"kumquat/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with defaults.
@@ -65,6 +68,20 @@ type Config struct {
 	// daemons (with retries, speculation and local fallback) instead of
 	// running them in-process.
 	Cluster cluster.Config
+	// TraceBuffer sizes the in-memory ring of recent traces served at
+	// GET /v1/traces/{id} (0 = default 64; negative disables tracing
+	// entirely — ?trace=on and traceparent headers are then ignored).
+	TraceBuffer int
+	// TraceProc labels this process's spans in exported traces
+	// (default "kumquatd").
+	TraceProc string
+	// Logger receives the server's structured request and lifecycle
+	// logs; nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the
+	// kumquatd -pprof flag). Off by default: the profile endpoints
+	// expose internals and cost CPU when scraped.
+	EnablePprof bool
 }
 
 // withDefaults resolves the zero-value fields.
@@ -84,6 +101,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 64
+	}
+	if c.TraceProc == "" {
+		c.TraceProc = "kumquatd"
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -93,6 +119,10 @@ type Server struct {
 	sys *kumquat.System
 	adm *admission
 	met *metrics
+	// trc records request traces; nil when tracing is disabled.
+	trc *obs.Tracer
+	// log receives structured request and lifecycle logs.
+	log *slog.Logger
 	// clu is the cluster coordinator; nil when no workers are configured.
 	clu *cluster.Coordinator
 	// draining flips once shutdown starts: readiness goes 503 (stop
@@ -113,9 +143,21 @@ func New(cfg Config) *Server {
 		sys: kumquat.NewWithOptions(env, cfg.SynthOptions),
 		adm: newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
 		met: newMetrics(),
+		log: cfg.Logger,
+	}
+	if cfg.TraceBuffer > 0 {
+		s.trc = obs.NewTracer(cfg.TraceBuffer, cfg.TraceProc)
 	}
 	if len(cfg.Cluster.Workers) > 0 {
-		s.clu = cluster.New(cfg.Cluster)
+		cc := cfg.Cluster
+		if cc.Logger == nil {
+			cc.Logger = cfg.Logger
+		}
+		// Feed the coordinator's shard and backoff observations into the
+		// /metrics histograms.
+		cc.OnShardLatency = s.met.observeShard
+		cc.OnRetryBackoff = s.met.observeBackoff
+		s.clu = cluster.New(cc)
 	}
 	return s
 }
@@ -127,7 +169,11 @@ func (s *Server) Coordinator() *cluster.Coordinator { return s.clu }
 // SetDraining flips the readiness surface: once on, /readyz answers 503
 // so load balancers and cluster coordinators stop sending new work,
 // while /healthz keeps answering 200 for the duration of the drain.
-func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+func (s *Server) SetDraining(on bool) {
+	if s.draining.Swap(on) != on {
+		s.log.Info("drain transition", "draining", on)
+	}
+}
 
 // Draining reports whether the server is in its shutdown drain.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -143,20 +189,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/parallelize", s.instrument("parallelize", s.handleParallelize))
 	mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
 	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	mux.HandleFunc("GET /v1/traces/{id}", s.instrument("traces", s.handleTrace))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics) // not self-instrumented
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 // instrument wraps a handler with request metrics (count by status code,
-// latency histogram).
+// latency histogram) and structured request logs. Probe endpoints log at
+// debug so a tight health-check loop doesn't drown the work log; traced
+// requests carry their trace_id for correlation.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	probe := endpoint == "healthz" || endpoint == "readyz" || endpoint == "version"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		s.log.Debug("request start", "endpoint", endpoint, "remote", r.RemoteAddr)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		s.met.record(endpoint, rec.code, time.Since(start))
+		d := time.Since(start)
+		s.met.record(endpoint, rec.code, d)
+		lvl := slog.LevelInfo
+		if probe {
+			lvl = slog.LevelDebug
+		}
+		args := []any{"endpoint", endpoint, "code", rec.code, "ms", ms(d)}
+		if rec.traceID != "" {
+			args = append(args, "trace_id", rec.traceID)
+		}
+		s.log.Log(r.Context(), lvl, "request finished", args...)
 	}
 }
 
@@ -165,6 +233,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
+	// traceID is set by handlers that record a trace, so the finish log
+	// can correlate.
+	traceID string
 }
 
 // WriteHeader records the status code.
@@ -260,7 +331,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge{"kumquatd_cluster_readmissions", "Cumulative probe-gated worker re-admissions.", float64(cs.Readmissions)},
 		)
 	}
-	s.met.write(w, gauges)
+	s.met.write(w, gauges, s.clu != nil)
+}
+
+// handleTrace serves one recorded trace from the ring: Chrome
+// trace-event JSON by default (openable in chrome://tracing/Perfetto),
+// the raw obs.TraceData with ?format=raw.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.trc == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (TraceBuffer < 0)")
+		return
+	}
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace id: %v", err)
+		return
+	}
+	td, ok := s.trc.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace %s not found (evicted or never recorded)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "raw" {
+		writeJSON(w, http.StatusOK, td)
+		return
+	}
+	data, err := td.ChromeTrace()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "exporting trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client disconnects surface elsewhere
 }
 
 // writeJSON writes a JSON response body with the given status.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kumquat/internal/dsl"
+	"kumquat/internal/obs"
 	"kumquat/internal/shape"
 	"kumquat/internal/synth/cache"
 	"kumquat/internal/unix"
@@ -122,6 +123,22 @@ func (e *Engine) Synthesize(ctx context.Context, spec string) (*Result, error) {
 // best-effort Result carrying ctx.Err(); a leader whose ctx cancels
 // leaves nothing memoized, and its followers retry.
 func (e *Engine) SynthesizeTier(ctx context.Context, spec string) (*Result, cache.Tier, error) {
+	ctx, span := obs.StartSpan(ctx, "synth")
+	if span == nil {
+		return e.synthesizeTier(ctx, spec)
+	}
+	r, tier, err := e.synthesizeTier(ctx, spec)
+	span.Attr("spec", spec)
+	span.Attr("tier", tier.String())
+	if r != nil {
+		span.AttrInt("space", int64(r.Space.Total()))
+	}
+	span.End()
+	return r, tier, err
+}
+
+// synthesizeTier is SynthesizeTier without the tracing wrapper.
+func (e *Engine) synthesizeTier(ctx context.Context, spec string) (*Result, cache.Tier, error) {
 	for {
 		e.mu.Lock()
 		if r, ok := e.memo[spec]; ok {

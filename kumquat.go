@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"kumquat/internal/dsl"
+	"kumquat/internal/obs"
 	"kumquat/internal/pipeline"
 	"kumquat/internal/synth"
 	"kumquat/internal/synth/cache"
@@ -204,10 +205,13 @@ func (s *System) ParallelizeInEnv(ctx context.Context, env *Env, script string) 
 	if env == nil {
 		env = NewEnv()
 	}
+	ctx, span := obs.StartSpan(ctx, "plan")
+	defer span.End()
 	parsed, err := pipeline.ParseScript(script, nil)
 	if err != nil {
 		return nil, err
 	}
+	span.AttrInt("pipelines", int64(len(parsed.Pipelines)))
 	p := &Plan{env: env}
 	for _, pl := range parsed.Pipelines {
 		plan, err := pipeline.CompileContext(ctx, pl, s.syn)
@@ -549,6 +553,12 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 		captured = &strings.Builder{}
 		sink = captured
 	}
+	ctx, span := obs.StartSpan(ctx, "run")
+	if span.Enabled() {
+		span.Attr("mode", cfg.mode.String())
+		span.AttrInt("k", int64(cfg.k))
+	}
+	defer span.End()
 	rep := &RunReport{Mode: cfg.mode, Parallelism: cfg.k, SynthCache: p.synthStats}
 	counted := &countingWriter{w: sink}
 	start := time.Now()
@@ -556,6 +566,8 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		pctx, psp := obs.StartSpan(ctx, "pipeline")
+		psp.AttrInt("index", int64(i))
 		var target io.Writer = counted
 		var redirect *strings.Builder
 		if p.outs[i] != "" {
@@ -563,11 +575,12 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 			target = redirect
 		}
 		var info pipeline.RunInfo
-		ms, err := plan.Execute(ctx, p.env.u, cfg.stdin, target, mode, cfg.k,
+		ms, err := plan.Execute(pctx, p.env.u, cfg.stdin, target, mode, cfg.k,
 			pipeline.WithCombineWorkers(cfg.combineWorkers),
 			pipeline.WithFuse(cfg.fuse),
 			pipeline.WithRunInfo(&info))
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		if info.Fused {
@@ -617,6 +630,7 @@ func (p *Plan) Execute(ctx context.Context, opts ...ExecOption) (*RunReport, err
 		if redirect != nil {
 			p.env.Register(p.outs[i], redirect.String())
 		}
+		psp.End()
 	}
 	rep.Wall = time.Since(start)
 	rep.BytesOut = counted.n
