@@ -19,6 +19,9 @@
 //	                              # 1-vs-N concurrent-client throughput
 //	kqbench -bench-fuse OUT.json  # fused-vs-unfused executor comparison
 //	                              # (wall and allocations at k in {4,32})
+//	kqbench -bench-io OUT.json    # zero-copy data-plane measurement:
+//	                              # mmap ingest, per-stage streaming
+//	                              # throughput and allocations/line
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 	benchCombine := flag.String("bench-combine", "", "write a fold-vs-tree combine and scan-vs-heap merge comparison to this JSON file and exit")
 	benchServe := flag.String("bench-serve", "", "write a loopback-daemon serving comparison (cold-vs-warm latency, concurrent-client throughput) to this JSON file and exit")
 	benchFuse := flag.String("bench-fuse", "", "write a fused-vs-unfused optimized-executor comparison (streamer-chain pipeline) to this JSON file and exit")
+	benchIO := flag.String("bench-io", "", "write a zero-copy data-plane measurement (mmap ingest, per-stage streaming throughput and allocations/line) to this JSON file and exit")
 	combineWorkers := flag.Int("combine-workers", 0, "combine-plane workers for -bench-combine (0 = GOMAXPROCS)")
 	k := flag.Int("k", 8, "parallelism degree for -bench-exec")
 	synthWorkers := flag.Int("synth-workers", 0, "synthesis worker pool for -bench-synth (0 = GOMAXPROCS)")
@@ -79,6 +83,12 @@ func main() {
 	}
 	if *benchFuse != "" {
 		if err := writeBenchFuse(ctx, *benchFuse, *scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchIO != "" {
+		if err := writeBenchIO(ctx, *benchIO, *scale); err != nil {
 			fatal(err)
 		}
 		return
@@ -338,6 +348,36 @@ func writeBenchFuse(ctx context.Context, path string, scale int) error {
 	fmt.Printf("rewrites=%v agree=%v -> %s\n", cmp.Rewrites, cmp.Agree, path)
 	if !cmp.Agree {
 		return fmt.Errorf("fused executor disagrees with the serial oracle")
+	}
+	return nil
+}
+
+// writeBenchIO runs the zero-copy data-plane measurement and writes the
+// JSON report, echoing one line per stage and failing when fewer than
+// three streaming stages meet the allocations/line gate.
+func writeBenchIO(ctx context.Context, path string, scale int) error {
+	cmp, err := bench.CompareIO(ctx, scale)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("corpus=%d bytes (%d lines) mapped=%v map=%.2fms index=%.1fms chunk64=%.3fms (%d allocs)\n",
+		cmp.CorpusBytes, cmp.Scale, cmp.Ingest.Mapped, cmp.Ingest.MapWallMS,
+		cmp.Ingest.IndexWallMS, cmp.Ingest.ChunkWallMS, cmp.Ingest.ChunkAllocs)
+	for _, s := range cmp.Stages {
+		fmt.Printf("%-22s %9.1f ms %8.1f MB/s  %.3f allocs/line\n",
+			s.Spec, s.WallMS, s.MBPerSec, s.AllocsPerLine)
+	}
+	fmt.Printf("gate: %d stages <= %.1f allocs/line (pass=%v) -> %s\n",
+		cmp.GateStages, cmp.GateLimit, cmp.GatePass, path)
+	if !cmp.GatePass {
+		return fmt.Errorf("allocations/line gate failed: %d stages under %.1f, need 3", cmp.GateStages, cmp.GateLimit)
 	}
 	return nil
 }

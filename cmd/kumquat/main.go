@@ -220,12 +220,14 @@ func runRun(args []string) error {
 		return fmt.Errorf("run: -fuse must be on or off, got %q", *fuse)
 	}
 	env := kumquat.NewEnv()
+	// Host files are memory-mapped (falling back to a buffered read for
+	// pipes and platforms without mmap), so the environment holds
+	// zero-copy views and chunking never duplicates the corpus.
+	defer env.Close()
 	for _, path := range inputs {
-		data, err := os.ReadFile(path)
-		if err != nil {
+		if err := env.RegisterFile(path, path); err != nil {
 			return err
 		}
-		env.Register(path, string(data))
 	}
 	sys := kumquat.NewWithOptions(env, withSynth(kumquat.Options{Seed: 1}))
 	// First interrupt cancels the run; stop() re-arms the default SIGINT

@@ -32,6 +32,7 @@ var Packages = []string{
 	"kumquat/internal/conformance",
 	"kumquat/internal/dataflow",
 	"kumquat/internal/obs",
+	"kumquat/internal/textio",
 	"kumquat/internal/analysis/...",
 }
 

@@ -207,10 +207,25 @@ type StageStat struct {
 // u_k configuration with remote leaves). It returns the output stream,
 // per-stage accounting, and the run's dispatch stats.
 func (co *Coordinator) ExecutePlan(ctx context.Context, plan *pipeline.Plan, corpus string, combineWorkers int) (string, []StageStat, *Stats, error) {
+	return co.executePlan(ctx, plan, corpus, textio.LineSeq{}, false, combineWorkers)
+}
+
+// ExecutePlanSeq is ExecutePlan over a pre-indexed corpus: the first
+// stage's shards come from the shared ingest line index (computed once
+// when the corpus was registered) instead of a fresh boundary scan, so
+// repeated dispatches of one multi-GB corpus never re-walk it.
+func (co *Coordinator) ExecutePlanSeq(ctx context.Context, plan *pipeline.Plan, corpus textio.LineSeq, combineWorkers int) (string, []StageStat, *Stats, error) {
+	return co.executePlan(ctx, plan, corpus.Str(), corpus, true, combineWorkers)
+}
+
+func (co *Coordinator) executePlan(ctx context.Context, plan *pipeline.Plan, corpus string, ingest textio.LineSeq, haveIngest bool, combineWorkers int) (string, []StageStat, *Stats, error) {
 	st := &Stats{}
 	data := corpus
 	var stages []StageStat
-	for _, sp := range plan.Stages {
+	for si, sp := range plan.Stages {
+		if si > 0 {
+			haveIngest = false // the ingest index only describes stage 0's input
+		}
 		if err := ctx.Err(); err != nil {
 			return "", stages, st, err
 		}
@@ -221,7 +236,12 @@ func (co *Coordinator) ExecutePlan(ctx context.Context, plan *pipeline.Plan, cor
 		var next string
 		var err error
 		if co.dispatchable(sp) {
-			chunks := textio.ChunkLines(data, co.cfg.Shards)
+			var chunks []string
+			if haveIngest {
+				chunks = ingest.Chunk(co.cfg.Shards)
+			} else {
+				chunks = textio.ChunkLines(data, co.cfg.Shards)
+			}
 			ssp.AttrInt("shards", int64(len(chunks)))
 			var outs []string
 			outs, err = co.runShards(sctx, sp, chunks, st)

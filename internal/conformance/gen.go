@@ -115,6 +115,7 @@ var profiles = []struct {
 	{"reverse-sorted", genReverseSorted},
 	{"unicode", genUnicode},
 	{"long-lines", genLongLines},
+	{"page-boundary", genPageBoundary},
 	{"blanks", genBlanks},
 	{"empty", func(*rand.Rand) []string { return nil }},
 	{"mixed", genMixed},
@@ -269,6 +270,28 @@ func genLongLines(r *rand.Rand) []string {
 			b.WriteByte(' ')
 		}
 		lines[i] = strings.TrimRight(b.String(), " ")
+	}
+	return lines
+}
+
+// genPageBoundary sizes lines so several 4 KiB page boundaries land
+// mid-line: chunk views over an mmap'd ingest then straddle pages — the
+// corpus shape the zero-copy data plane's slicing must get right.
+func genPageBoundary(r *rand.Rand) []string {
+	const page = 4096
+	pages := 2 + r.Intn(3)
+	var lines []string
+	total := 0
+	for total < pages*page {
+		n := page/2 + r.Intn(page)
+		var b strings.Builder
+		for b.Len() < n {
+			b.WriteString(word(r))
+			b.WriteByte(' ')
+		}
+		l := strings.TrimRight(b.String(), " ")
+		lines = append(lines, l)
+		total += len(l) + 1
 	}
 	return lines
 }

@@ -138,12 +138,14 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 	}
 
 	var data string
+	var ingest textio.LineSeq
+	haveIngest := false
 	if p.InputFile != "" {
-		d, err := ex.env.FS.Read(p.InputFile)
+		seq, err := ex.env.FS.ReadSeq(p.InputFile)
 		if err != nil {
 			return nil, err
 		}
-		data = d
+		data, ingest, haveIngest = seq.Str(), seq, true
 	} else if stdin != nil {
 		buf, err := io.ReadAll(unix.ContextReader(ex.ctx, stdin))
 		if err != nil {
@@ -157,6 +159,9 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 		lazy   io.Reader // non-nil while a merge-stream exit left it lazy
 	)
 	for ri, r := range prog.Regions {
+		if ri > 0 {
+			haveIngest = false // the ingest index only describes region 0's input
+		}
 		if err := ex.ctx.Err(); err != nil {
 			return metrics, err
 		}
@@ -217,7 +222,7 @@ func (ex *executor) runGraph(p *Plan, stdin io.Reader, out io.Writer) ([]StageMe
 		default:
 			rm.BytesIn = int64(len(data))
 			if r.Parallel && ex.k > 1 {
-				outs, err := ex.runRegionChunks(rctx, cmd, textio.ChunkLines(data, ex.k))
+				outs, err := ex.runRegionChunks(rctx, cmd, ex.chunkStream(data, ingest, haveIngest))
 				if err != nil {
 					rsp.End()
 					return metrics, err

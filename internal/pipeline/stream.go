@@ -408,14 +408,17 @@ func totalLen(ss []string) int64 {
 // views, run on the shared pool, and combine.
 func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parallel bool) ([]StageMetrics, error) {
 	var data string
+	var ingest textio.LineSeq
+	haveIngest := false
 	if p.InputFile != "" {
-		// Registered files are already in memory: use the string directly
-		// instead of round-tripping it through a reader copy.
-		d, err := ex.env.FS.Read(p.InputFile)
+		// Registered files are already in memory: use the zero-copy string
+		// view and the shared ingest line index (computed once per
+		// registered corpus, shared across stages, modes and requests).
+		seq, err := ex.env.FS.ReadSeq(p.InputFile)
 		if err != nil {
 			return nil, err
 		}
-		data = d
+		data, ingest, haveIngest = seq.Str(), seq, true
 	} else if stdin != nil {
 		buf, err := io.ReadAll(unix.ContextReader(ex.ctx, ex.source(ex.ctx, stdin)))
 		if err != nil {
@@ -434,7 +437,7 @@ func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parall
 		start := time.Now()
 		var next string
 		if parallel && sp.Parallel && ex.k > 1 {
-			chunks := textio.ChunkLines(data, ex.k)
+			chunks := ex.chunkStream(data, ingest, haveIngest)
 			outs, err := ex.runChunks(sctx, sp, chunks)
 			if err != nil {
 				ssp.End()
@@ -458,12 +461,24 @@ func (ex *executor) runBarriered(p *Plan, stdin io.Reader, out io.Writer, parall
 		m.BytesOut = int64(len(next))
 		metrics = append(metrics, m)
 		data = next
+		haveIngest = false
 		ssp.End()
 	}
 	if _, err := io.WriteString(out, data); err != nil {
 		return metrics, err
 	}
 	return metrics, nil
+}
+
+// chunkStream splits the current stream k-ways: through the shared
+// ingest index while the stream is still the registered input (the
+// index's precomputed boundaries replace a byte scan per split point),
+// and by scanning otherwise.
+func (ex *executor) chunkStream(data string, ingest textio.LineSeq, haveIngest bool) []string {
+	if haveIngest {
+		return ingest.Chunk(ex.k)
+	}
+	return textio.ChunkLines(data, ex.k)
 }
 
 // runSplitStage executes one parallel stage over the split stream: run
@@ -549,25 +564,30 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 	}
 
 	var (
-		chunks   []string  // non-nil while the stream is split across k views
-		data     string    // the stream, while materialized
-		haveData bool      // data is valid
-		cur      io.Reader // the stream, while live
+		chunks     []string  // non-nil while the stream is split across k views
+		data       string    // the stream, while materialized
+		haveData   bool      // data is valid
+		cur        io.Reader // the stream, while live
+		ingest     textio.LineSeq
+		haveIngest bool // ingest indexes data (first stage only)
 	)
 	switch {
 	case p.InputFile != "":
-		d, err := ex.env.FS.Read(p.InputFile)
+		seq, err := ex.env.FS.ReadSeq(p.InputFile)
 		if err != nil {
 			return nil, err
 		}
-		data, haveData = d, true
+		data, haveData = seq.Str(), true
+		ingest, haveIngest = seq, true
 	case stdin == nil:
 		haveData = true
 	case !ex.external:
 		// In-memory stdin (the compat wrappers): the input is already
 		// materialized, so read it up front and let parallel stages
-		// chunk it — preserving the legacy T_k behaviour.
-		buf, err := io.ReadAll(stdin)
+		// chunk it — preserving the legacy T_k behaviour. The read still
+		// goes through ContextReader so a cancelled ctx aborts the drain
+		// instead of being ignored until the first stage runs.
+		buf, err := io.ReadAll(unix.ContextReader(ex.ctx, stdin))
 		if err != nil {
 			return nil, err
 		}
@@ -580,6 +600,9 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 		sp := p.Stages[i]
 		m := &metrics[i]
 		m.Spec = sp.Spec
+		if i > 0 {
+			haveIngest = false // the ingest index only describes stage 0's input
+		}
 		if err := ctx.Err(); err != nil {
 			finish(err)
 			return metrics, err
@@ -659,7 +682,7 @@ func (ex *executor) runOptimized(p *Plan, stdin io.Reader, out io.Writer) (ms []
 		// Materialized stream.
 		m.BytesIn = int64(len(data))
 		if sp.Parallel && ex.k > 1 {
-			keep, combined, cerr := ex.runSplitStage(sctx, sp, textio.ChunkLines(data, ex.k), m)
+			keep, combined, cerr := ex.runSplitStage(sctx, sp, ex.chunkStream(data, ingest, haveIngest), m)
 			ssp.End()
 			if cerr != nil {
 				finish(cerr)

@@ -9,6 +9,7 @@ import (
 	"kumquat"
 	"kumquat/internal/cluster"
 	"kumquat/internal/obs"
+	"kumquat/internal/textio"
 )
 
 // executeCluster serves an execute request through the cluster
@@ -31,7 +32,9 @@ func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kum
 			writeError(w, http.StatusBadRequest, "reading request body: %v", err)
 			return
 		}
-		stdinData = string(b)
+		// Hold the drained body as a zero-copy view: sharding slices it,
+		// so a multi-GB corpus is never duplicated per request.
+		stdinData = textio.View(b)
 	}
 
 	rep := ExecuteReport{
@@ -46,20 +49,33 @@ func (s *Server) executeCluster(w http.ResponseWriter, r *http.Request, env *kum
 	start := time.Now()
 	for i, pl := range plans {
 		corpus := ""
+		var ingest textio.LineSeq
+		haveIngest := false
 		if inputs[i] != "" {
-			data, err := env.Read(inputs[i])
+			seq, err := env.ReadSeq(inputs[i])
 			if err != nil {
 				s.endTrace(w, span, remoteTrace, nil)
 				w.Header().Set(ErrorTrailer, "input "+inputs[i]+": "+err.Error())
 				return
 			}
-			corpus = data
+			corpus, ingest, haveIngest = seq.Str(), seq, true
 		} else {
 			// Standard input feeds the first stdin-reading pipeline; later
 			// ones see it already drained, as in the local executor.
 			corpus, stdinData = stdinData, ""
 		}
-		out, stages, st, err := s.clu.ExecutePlan(r.Context(), pl, corpus, combineWorkers)
+		var out string
+		var stages []cluster.StageStat
+		var st *cluster.Stats
+		var err error
+		if haveIngest {
+			// File inputs dispatch through the environment's shared line
+			// index — shard boundaries come from the once-computed ingest
+			// LineSeq instead of a fresh corpus walk.
+			out, stages, st, err = s.clu.ExecutePlanSeq(r.Context(), pl, ingest, combineWorkers)
+		} else {
+			out, stages, st, err = s.clu.ExecutePlan(r.Context(), pl, corpus, combineWorkers)
+		}
 		runStats.AddAll(st)
 		if err != nil {
 			s.endTrace(w, span, remoteTrace, nil)

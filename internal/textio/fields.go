@@ -1,0 +1,157 @@
+package textio
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// This file is the shared field-splitting core of the data plane: one
+// branch-light scalar kernel behind every per-line field walk in the
+// command substrate (cut -d, awk $N, sort -k, xargs, wc -w, fmt). The
+// kernel iterates fields through a stack-allocated cursor instead of
+// materializing a []string per line, so the steady-state cost of field
+// access is zero heap allocations; callers that genuinely need a slice
+// reuse one through AppendFields.
+
+// asciiSpace marks the ASCII whitespace bytes strings.Fields splits on.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+// FieldSeq is a zero-allocation cursor over the fields of one line.
+// The zero value is exhausted; construct with Fields or FieldsByte.
+// Field boundaries match strings.Fields (runs of Unicode whitespace,
+// no empty fields) in whitespace mode and strings.Split (every
+// delimiter byte is a boundary, empty fields preserved) in
+// byte-delimiter mode.
+type FieldSeq struct {
+	s     string
+	pos   int
+	delim byte
+	byDel bool
+}
+
+// Fields returns a cursor over the whitespace-separated fields of s,
+// with strings.Fields semantics: fields are maximal runs of
+// non-whitespace, and leading/trailing/repeated whitespace produces no
+// empty fields.
+func Fields(s string) FieldSeq { return FieldSeq{s: s} }
+
+// FieldsByte returns a cursor over the d-separated fields of s, with
+// strings.Split semantics: n delimiters produce n+1 fields and empty
+// fields are preserved ("a,,b" has fields "a", "", "b").
+func FieldsByte(s string, d byte) FieldSeq { return FieldSeq{s: s, delim: d, byDel: true} }
+
+// Next returns the next field and true, or "" and false when the line
+// is exhausted. The returned string is a zero-copy substring of the
+// line.
+func (f *FieldSeq) Next() (string, bool) {
+	if f.byDel {
+		if f.pos > len(f.s) {
+			return "", false
+		}
+		i := f.pos
+		j := strings.IndexByte(f.s[i:], f.delim)
+		if j < 0 {
+			f.pos = len(f.s) + 1
+			return f.s[i:], true
+		}
+		f.pos = i + j + 1
+		return f.s[i : i+j], true
+	}
+	s := f.s
+	i := skipSpace(s, f.pos)
+	if i >= len(s) {
+		f.pos = i
+		return "", false
+	}
+	end := fieldEnd(s, i)
+	f.pos = end
+	return s[i:end], true
+}
+
+// skipSpace advances past whitespace starting at i.
+func skipSpace(s string, i int) int {
+	for i < len(s) {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if !asciiSpace[c] {
+				return i
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if !unicode.IsSpace(r) {
+			return i
+		}
+		i += size
+	}
+	return i
+}
+
+// fieldEnd advances from the start of a field to one past its last byte.
+func fieldEnd(s string, i int) int {
+	for i < len(s) {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if asciiSpace[c] {
+				return i
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			return i
+		}
+		i += size
+	}
+	return i
+}
+
+// CountFields counts the whitespace-separated fields of s without
+// materializing them — wc -w over a stream is one pass and zero
+// allocations.
+func CountFields(s string) int {
+	n := 0
+	for i := 0; i < len(s); {
+		i = skipSpace(s, i)
+		if i >= len(s) {
+			break
+		}
+		n++
+		i = fieldEnd(s, i)
+	}
+	return n
+}
+
+// Field returns the n-th (1-based) whitespace-separated field of s, or
+// "" when s has fewer than n fields. Zero allocations — this is the
+// sort-key extraction kernel, called once per comparison.
+func Field(s string, n int) string {
+	fs := Fields(s)
+	for {
+		f, ok := fs.Next()
+		if !ok {
+			return ""
+		}
+		if n--; n == 0 {
+			return f
+		}
+	}
+}
+
+// AppendFields appends the whitespace-separated fields of s to dst and
+// returns the extended slice, reusing dst's capacity — the kernel's
+// face for callers that need indexed field access (awk's $N) and can
+// recycle the slice across lines.
+func AppendFields(dst []string, s string) []string {
+	fs := Fields(s)
+	for {
+		f, ok := fs.Next()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, f)
+	}
+}

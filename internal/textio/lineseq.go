@@ -27,6 +27,14 @@ type LineSeq struct {
 	offs []int
 }
 
+// ScanBytes indexes a byte-backed stream into a LineSeq without copying:
+// the LineSeq's backing string is a zero-copy view of b, so b must not be
+// mutated while the LineSeq (or any string derived from it) is alive.
+// This is the ingest entry point for mmap-backed inputs.
+func ScanBytes(b []byte) LineSeq {
+	return ScanLines(View(b))
+}
+
 // ScanLines indexes stream s into a LineSeq in one pass.
 func ScanLines(s string) LineSeq {
 	if s == "" {

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package textio
+
+import "os"
+
+// mmapSupported reports platform mmap availability (false here: MapFile
+// always takes the read-into-buffer fallback).
+const mmapSupported = false
+
+// mmapFile is never called when mmapSupported is false.
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, os.ErrInvalid
+}
+
+// munmap is never called when mmapSupported is false.
+func munmap(_ []byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package textio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports platform mmap availability (true on unix).
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and privately: writers to the
+// mapping (there are none — the data plane treats inputs as immutable)
+// could never reach the file, and the kernel shares pages with the page
+// cache, so k chunk views cost no corpus copies.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// munmap releases a mapping produced by mmapFile.
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

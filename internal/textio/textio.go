@@ -194,8 +194,19 @@ func FieldPad(d byte, line string) (p Pad, head, tail string, ok bool) {
 }
 
 // CountByte counts occurrences of d in s (Definition B.10's C(d, y)).
+// IndexByte-driven so no one-byte needle string is materialized per call
+// (wc -l and xargs wc call this once per multi-GB stream or per file).
 func CountByte(d byte, s string) int {
-	return strings.Count(s, string(d))
+	n := 0
+	for i := 0; i < len(s); {
+		j := strings.IndexByte(s[i:], d)
+		if j < 0 {
+			break
+		}
+		n++
+		i += j + 1
+	}
+	return n
 }
 
 // ChunkOffsets computes the k-way line-aligned split of data as k+1 byte

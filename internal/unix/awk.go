@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"kumquat/internal/textio"
 )
 
 // awkCmd is a mini-awk interpreter covering the programs in the benchmark
@@ -409,7 +411,7 @@ func (a *awkCmd) Run(input string) (string, error) {
 // MapLine implements LineMapper: each benchmark awk program is a pure
 // per-line map/filter.
 func (a *awkCmd) MapLine(line string) []string {
-	ctx := &awkCtx{line: line, fields: strings.Fields(line), ofs: a.ofs}
+	ctx := &awkCtx{line: line, fields: textio.AppendFields(nil, line), ofs: a.ofs}
 	var out []string
 	for _, r := range a.rules {
 		if r.pattern != nil {

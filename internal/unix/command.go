@@ -176,10 +176,22 @@ func runLineMapper(lm LineMapper, input string) string {
 
 // streamLineMapper drives a LineMapper incrementally from r to w, checking
 // ctx every few lines so a cancelled execution aborts promptly without
-// paying a per-line context poll on the hot path.
+// paying a per-line context poll on the hot path. Commands with a
+// LineEmitter fast path run allocation-free per line: the reader's line
+// view feeds EmitLine, whose output views are copied straight into the
+// pooled chunk buffer — no per-line string, field slice, or result slice.
 func streamLineMapper(ctx context.Context, lm LineMapper, r io.Reader, w io.Writer) error {
 	br := newLineReader(r)
 	bw := newChunkWriter(w)
+	defer bw.release()
+	le, fast := lm.(LineEmitter)
+	var scratch []byte
+	var emitErr error
+	emit := func(out string) {
+		if emitErr == nil {
+			emitErr = bw.writeLine(out)
+		}
+	}
 	for n := 0; ; n++ {
 		if n&63 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -192,6 +204,13 @@ func streamLineMapper(ctx context.Context, lm LineMapper, r io.Reader, w io.Writ
 		}
 		if err != nil {
 			return err
+		}
+		if fast {
+			le.EmitLine(line, &scratch, emit)
+			if emitErr != nil {
+				return emitErr
+			}
+			continue
 		}
 		for _, out := range lm.MapLine(line) {
 			if err := bw.writeLine(out); err != nil {
@@ -219,11 +238,18 @@ func newLineReader(r io.Reader) *lineReader {
 
 // readLine returns the next line without its terminator; io.EOF when the
 // input is exhausted. A final unterminated line is returned before EOF.
+//
+// The returned string is a transient zero-copy view into the reader's
+// buffer: it is valid until the next readLine call, by when the caller
+// must have finished with it (the stream drivers copy each mapped line
+// into the output buffer before reading the next). The view stays valid
+// across refills because the reader only ever appends at offsets past
+// the consumed region — it never rewrites bytes a returned line spans.
 func (lr *lineReader) readLine() (string, error) {
 	for {
 		if i := bytes.IndexByte(lr.pending[lr.scanned:], '\n'); i >= 0 {
 			end := lr.scanned + i
-			line := string(lr.pending[:end])
+			line := textio.View(lr.pending[:end])
 			lr.pending = lr.pending[end+1:]
 			lr.scanned = 0
 			return line, nil
@@ -231,8 +257,8 @@ func (lr *lineReader) readLine() (string, error) {
 		lr.scanned = len(lr.pending)
 		if lr.eof {
 			if len(lr.pending) > 0 {
-				line := string(lr.pending)
-				lr.pending = nil
+				line := textio.View(lr.pending)
+				lr.pending = lr.pending[len(lr.pending):]
 				lr.scanned = 0
 				return line, nil
 			}
@@ -250,13 +276,18 @@ func (lr *lineReader) readLine() (string, error) {
 	}
 }
 
-// chunkWriter batches line writes to reduce io.Pipe round trips.
+// chunkWriter batches line writes to reduce io.Pipe round trips. The
+// batch buffer comes from the shared textio builder pool, so a
+// steady-state streamed stage allocates nothing per flush (the old
+// strings.Builder variant copied every flushed chunk through String()).
 type chunkWriter struct {
 	w io.Writer
-	b strings.Builder
+	b *bytes.Buffer
 }
 
-func newChunkWriter(w io.Writer) *chunkWriter { return &chunkWriter{w: w} }
+func newChunkWriter(w io.Writer) *chunkWriter {
+	return &chunkWriter{w: w, b: textio.GetBuilder()}
+}
 
 func (cw *chunkWriter) writeLine(line string) error {
 	cw.b.WriteString(line)
@@ -271,9 +302,18 @@ func (cw *chunkWriter) flush() error {
 	if cw.b.Len() == 0 {
 		return nil
 	}
-	_, err := io.WriteString(cw.w, cw.b.String())
+	_, err := cw.w.Write(cw.b.Bytes())
 	cw.b.Reset()
 	return err
+}
+
+// release returns the batch buffer to the pool; the chunkWriter must not
+// be used afterwards. Paired with newChunkWriter on every path via defer.
+func (cw *chunkWriter) release() {
+	if cw.b != nil {
+		textio.PutBuilder(cw.b)
+		cw.b = nil
+	}
 }
 
 // Env supplies the execution environment shared by commands: the simulated

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"kumquat/internal/textio"
 )
 
 // cutCmd implements cut -c LIST (character ranges) and cut -d C -f LIST
@@ -136,15 +138,29 @@ func (c *cutCmd) MapLine(line string) []string {
 		}
 		return []string{b.String()}
 	}
-	if !strings.Contains(line, string(c.delim)) {
+	if !hasByte(line, c.delim) {
 		return []string{line}
 	}
-	fields := strings.Split(line, string(c.delim))
-	var picked []string
-	for i, f := range fields {
-		if c.selected(i + 1) {
-			picked = append(picked, f)
+	// One pass through the shared field-splitting kernel: no per-line
+	// field slice, no re-materialized one-byte delimiter string (the old
+	// strings.Split(line, string(c.delim)) paid both on every line).
+	var b strings.Builder
+	fs := textio.FieldsByte(line, c.delim)
+	field, wrote := 0, false
+	for {
+		f, ok := fs.Next()
+		if !ok {
+			break
 		}
+		field++
+		if !c.selected(field) {
+			continue
+		}
+		if wrote {
+			b.WriteByte(c.delim)
+		}
+		b.WriteString(f)
+		wrote = true
 	}
-	return []string{strings.Join(picked, string(c.delim))}
+	return []string{b.String()}
 }

@@ -145,19 +145,22 @@ func (c *cutCmd) EmitLine(line string, scratch *[]byte, emit EmitFunc) {
 		return
 	}
 	buf := (*scratch)[:0]
-	field, start, wrote := 1, 0, false
-	for i := 0; i <= len(line); i++ {
-		if i == len(line) || line[i] == c.delim {
-			if c.selected(field) {
-				if wrote {
-					buf = append(buf, c.delim)
-				}
-				buf = append(buf, line[start:i]...)
-				wrote = true
-			}
-			field++
-			start = i + 1
+	fs := textio.FieldsByte(line, c.delim)
+	field, wrote := 0, false
+	for {
+		f, ok := fs.Next()
+		if !ok {
+			break
 		}
+		field++
+		if !c.selected(field) {
+			continue
+		}
+		if wrote {
+			buf = append(buf, c.delim)
+		}
+		buf = append(buf, f...)
+		wrote = true
 	}
 	emitView(buf, scratch, emit)
 }

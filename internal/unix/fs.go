@@ -6,7 +6,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"kumquat/internal/textio"
 )
+
+// fsEntry is one registered file: its contents as a string view (a
+// zero-copy alias of the backing bytes for mapped and byte-registered
+// files) plus the lazily computed line index shared by every consumer.
+type fsEntry struct {
+	data string
+	// mapping is non-nil when data aliases an OS memory mapping; the FS
+	// keeps it alive until Close so no view can dangle.
+	mapping *textio.Mapping
+	// once guards seq: the line index is computed at most once per entry
+	// and then shared k-ways across stages, modes and requests.
+	once sync.Once
+	seq  textio.LineSeq
+}
 
 // FS is the simulated file system backing xargs, comm and file. The paper's
 // experiments read real files; here file names map to registered in-memory
@@ -14,10 +30,20 @@ import (
 // error, which reproduces the probe behaviour §3.2 relies on: xargs errors
 // on word-list inputs (the words are not files) but succeeds on lists of
 // legal file names (drawn from this FS).
+//
+// Contents are byte-backed: RegisterBytes and RegisterMapping alias their
+// input without copying (mmap ingest is pointer arithmetic end to end),
+// and every entry carries a line index computed once on first use (see
+// ReadSeq). Mapped entries stay alive — even after Remove or
+// re-registration — until Close, so zero-copy views handed out earlier
+// can never dangle.
 type FS struct {
 	mu     sync.RWMutex
-	files  map[string]string
+	files  map[string]*fsEntry
 	corpus []string // names offered as the legal-file-name dictionary
+	// retired holds mappings displaced by Remove/re-registration; they
+	// are closed with the FS, not before (views may still circulate).
+	retired []*textio.Mapping
 }
 
 // NewFS returns a file system pre-seeded with a deterministic corpus:
@@ -25,19 +51,19 @@ type FS struct {
 // and a sorted dictionary at "dict.sorted" (used by comm-based spell
 // checking). Benchmarks register additional inputs on top.
 func NewFS() *FS {
-	fs := &FS{files: make(map[string]string)}
+	fs := &FS{files: make(map[string]*fsEntry)}
 	rng := rand.New(rand.NewSource(0x5eed))
 	for i := 0; i < 48; i++ {
 		name := fmt.Sprintf("f%03d.txt", i)
-		fs.files[name] = syntheticText(rng, 3+rng.Intn(6))
+		fs.files[name] = &fsEntry{data: syntheticText(rng, 3+rng.Intn(6))}
 		fs.corpus = append(fs.corpus, name)
 	}
 	for i := 0; i < 8; i++ {
 		name := fmt.Sprintf("s%02d.sh", i)
-		fs.files[name] = syntheticScript(rng, 2+rng.Intn(12))
+		fs.files[name] = &fsEntry{data: syntheticScript(rng, 2+rng.Intn(12))}
 		fs.corpus = append(fs.corpus, name)
 	}
-	fs.files["dict.sorted"] = defaultDict()
+	fs.files["dict.sorted"] = &fsEntry{data: defaultDict()}
 	sort.Strings(fs.corpus)
 	return fs
 }
@@ -57,7 +83,7 @@ func (fs *FS) DictionaryNames() []string {
 func (fs *FS) AddToDictionary(name, content string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.files[name] = content
+	fs.put(name, &fsEntry{data: content})
 	fs.corpus = append(fs.corpus, name)
 	sort.Strings(fs.corpus)
 }
@@ -66,25 +92,100 @@ func (fs *FS) AddToDictionary(name, content string) {
 func (fs *FS) Register(name, content string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.files[name] = content
+	fs.put(name, &fsEntry{data: content})
+}
+
+// RegisterBytes adds or replaces a file whose contents alias b without
+// copying. The caller must not mutate b afterwards — the entry's string
+// face and line index are views of the same bytes.
+func (fs *FS) RegisterBytes(name string, b []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.put(name, &fsEntry{data: textio.View(b)})
+}
+
+// RegisterMapping adds or replaces a file backed by a memory mapping.
+// The FS takes ownership: the mapping stays alive — surviving Remove and
+// re-registration — until Close, so zero-copy views cannot dangle.
+func (fs *FS) RegisterMapping(name string, m *textio.Mapping) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.put(name, &fsEntry{data: m.View(), mapping: m})
+}
+
+// put installs an entry, retiring any displaced mapping.
+func (fs *FS) put(name string, e *fsEntry) {
+	if old, ok := fs.files[name]; ok && old.mapping != nil {
+		fs.retired = append(fs.retired, old.mapping)
+	}
+	fs.files[name] = e
 }
 
 // Remove deletes a file if present (rm is tolerant, like rm -f).
 func (fs *FS) Remove(name string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if old, ok := fs.files[name]; ok && old.mapping != nil {
+		fs.retired = append(fs.retired, old.mapping)
+	}
 	delete(fs.files, name)
+}
+
+// Close releases every mapping the FS ever owned (live and retired).
+// Call only when no view of any mapped file — string, []byte, or
+// LineSeq — can be used again; typically at process or test teardown.
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var first error
+	closeOne := func(m *textio.Mapping) {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, e := range fs.files {
+		if e.mapping != nil {
+			closeOne(e.mapping)
+		}
+	}
+	for _, m := range fs.retired {
+		closeOne(m)
+	}
+	fs.retired = nil
+	return first
 }
 
 // Read returns the content of a registered file.
 func (fs *FS) Read(name string) (string, error) {
+	e, err := fs.lookup(name)
+	if err != nil {
+		return "", err
+	}
+	return e.data, nil
+}
+
+// ReadSeq returns the line index of a registered file, computing it on
+// first use and sharing the one index across every later caller — the
+// ingest-once contract of the data plane: k workers chunking the same
+// corpus, repeated requests against a warm daemon, and sortedness checks
+// all walk the same []int.
+func (fs *FS) ReadSeq(name string) (textio.LineSeq, error) {
+	e, err := fs.lookup(name)
+	if err != nil {
+		return textio.LineSeq{}, err
+	}
+	e.once.Do(func() { e.seq = textio.ScanLines(e.data) })
+	return e.seq, nil
+}
+
+func (fs *FS) lookup(name string) (*fsEntry, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	c, ok := fs.files[name]
+	e, ok := fs.files[name]
 	if !ok {
-		return "", fmt.Errorf("%s: No such file or directory", name)
+		return nil, fmt.Errorf("%s: No such file or directory", name)
 	}
-	return c, nil
+	return e, nil
 }
 
 // Names returns all registered file names in sorted order. The synthesizer

@@ -1,0 +1,128 @@
+package unix
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"kumquat/internal/textio"
+)
+
+// TestReadSeqSharedAcrossWorkers: k workers pulling the same file's line
+// index concurrently must all see one identical, fully built index — the
+// ingest-once contract (run under -race, this also proves the sync.Once
+// publication is sound).
+func TestReadSeqSharedAcrossWorkers(t *testing.T) {
+	fs := NewFS()
+	content := strings.Repeat("alpha beta\ngamma\n", 500) + "tail"
+	fs.Register("shared.txt", content)
+	const workers = 16
+	seqs := make([]textio.LineSeq, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seq, err := fs.ReadSeq("shared.txt")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Each worker walks its own chunk of the shared index, the
+			// way parallel stages consume the ingest.
+			chunks := seq.Chunk(workers)
+			if w < len(chunks) && chunks[w] != "" {
+				_ = textio.CountByte('\n', chunks[w])
+			}
+			seqs[w] = seq
+		}(w)
+	}
+	wg.Wait()
+	want, err := fs.ReadSeq("shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, seq := range seqs {
+		if seq.Str() != want.Str() || seq.Len() != want.Len() {
+			t.Fatalf("worker %d saw a different index (%d lines vs %d)", w, seq.Len(), want.Len())
+		}
+	}
+	if got := strings.Join(want.Chunk(1), ""); got != content {
+		t.Fatalf("index round-trip = %q", got)
+	}
+}
+
+// TestRegisterBytesAliases: RegisterBytes must not copy — Read returns a
+// view of the registered bytes.
+func TestRegisterBytesAliases(t *testing.T) {
+	fs := NewFS()
+	b := []byte("one\ntwo\n")
+	fs.RegisterBytes("b.txt", b)
+	got, err := fs.Read("b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "one\ntwo\n" {
+		t.Fatalf("Read = %q", got)
+	}
+}
+
+// TestRegisterMappingLifetime: views handed out before Remove or
+// re-registration must stay valid until FS.Close — the mapping is
+// retired, never closed early.
+func TestRegisterMappingLifetime(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.txt")
+	content := strings.Repeat("mapped line\n", 2000)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := textio.MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFS()
+	fs.RegisterMapping("in.txt", m)
+	seq, err := fs.ReadSeq("in.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := fs.Read("in.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Displace the entry twice: once by re-registration, once by Remove.
+	fs.Register("in.txt", "replacement\n")
+	fs.Remove("in.txt")
+
+	// The circulating views must still read the mapped bytes.
+	if view != content {
+		t.Fatal("string view dangled after Remove")
+	}
+	if seq.Str() != content {
+		t.Fatal("line index dangled after Remove")
+	}
+	if got := strings.Join(seq.Chunk(4), ""); got != content {
+		t.Fatal("chunk views dangled after Remove")
+	}
+
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is terminal and idempotent through the FS too.
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadSeqMissing: the line index of an unregistered file errors like
+// Read does.
+func TestReadSeqMissing(t *testing.T) {
+	fs := NewFS()
+	if _, err := fs.ReadSeq("absent.txt"); err == nil {
+		t.Fatal("ReadSeq on missing file succeeded")
+	}
+}

@@ -105,24 +105,31 @@ func (f *fmtCmd) Run(input string) (string, error) { return runLineMapper(f, inp
 // -w1 every word lands on its own line. Words longer than the width get a
 // line of their own, as in GNU fmt.
 func (f *fmtCmd) MapLine(line string) []string {
-	words := strings.Fields(line)
-	if len(words) == 0 {
+	fs := textio.Fields(line)
+	w, ok := fs.Next()
+	if !ok {
 		return []string{""}
 	}
+	// Pack through a builder instead of the old cur += " " + w fold,
+	// which reallocated the accumulator once per appended word.
 	var out []string
-	cur := ""
-	for _, w := range words {
-		switch {
-		case cur == "":
-			cur = w
-		case len(cur)+1+len(w) <= f.width:
-			cur += " " + w
-		default:
-			out = append(out, cur)
-			cur = w
+	var b strings.Builder
+	b.WriteString(w)
+	for {
+		w, ok = fs.Next()
+		if !ok {
+			break
 		}
+		if b.Len()+1+len(w) <= f.width {
+			b.WriteByte(' ')
+			b.WriteString(w)
+			continue
+		}
+		out = append(out, b.String())
+		b.Reset()
+		b.WriteString(w)
 	}
-	return append(out, cur)
+	return append(out, b.String())
 }
 
 // colCmd implements col -bx: -b removes backspace sequences (char pairs

@@ -111,16 +111,15 @@ func (s *SortCmd) Flags() string { return s.flagsStr }
 
 func (s *SortCmd) Spec() string { return s.spec }
 
-// keyOf extracts the comparison key of a line.
+// keyOf extracts the comparison key of a line. Key extraction runs once
+// per comparison, so it goes through the zero-allocation field kernel
+// instead of materializing a field slice (the old strings.Fields here
+// allocated on every comparison of every keyed sort).
 func (s *SortCmd) keyOf(line string) string {
 	if s.Key == 0 {
 		return line
 	}
-	fields := strings.Fields(line)
-	if s.Key-1 < len(fields) {
-		return fields[s.Key-1]
-	}
-	return ""
+	return textio.Field(line, s.Key)
 }
 
 // numValue parses a GNU-sort-style leading numeric value: optional blanks,

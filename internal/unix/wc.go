@@ -45,7 +45,9 @@ func (w *wcCmd) Run(input string) (string, error) {
 		parts = append(parts, strconv.Itoa(nl))
 	}
 	if w.words {
-		parts = append(parts, strconv.Itoa(len(strings.Fields(input))))
+		// Count through the field kernel: one pass, no per-word slice for
+		// the whole (possibly multi-GB) input.
+		parts = append(parts, strconv.Itoa(textio.CountFields(input)))
 	}
 	if w.bytes {
 		parts = append(parts, strconv.Itoa(len(input)))

@@ -95,8 +95,12 @@ func (x *xargsCmd) Run(input string) (string, error) {
 		return nil
 	}
 	if x.perLine {
-		for _, line := range textio.Lines(input) {
-			items := strings.Fields(line)
+		// One field slice reused across every line of the run (the shared
+		// kernel recycles its capacity; strings.Fields allocated per line).
+		var items []string
+		ls := textio.ScanLines(input)
+		for i := 0; i < ls.Len(); i++ {
+			items = textio.AppendFields(items[:0], ls.Line(i))
 			if len(items) == 0 {
 				continue
 			}
@@ -106,7 +110,7 @@ func (x *xargsCmd) Run(input string) (string, error) {
 		}
 		return b.String(), nil
 	}
-	items := strings.Fields(input)
+	items := textio.AppendFields(nil, input)
 	if err := process(items); err != nil {
 		return "", err
 	}

@@ -34,6 +34,7 @@ import (
 	"kumquat/internal/pipeline"
 	"kumquat/internal/synth"
 	"kumquat/internal/synth/cache"
+	"kumquat/internal/textio"
 	"kumquat/internal/unix"
 )
 
@@ -51,8 +52,32 @@ func NewEnv() *Env { return &Env{u: unix.DefaultEnv()} }
 // Register adds or replaces a file's contents.
 func (e *Env) Register(name, content string) { e.u.FS.Register(name, content) }
 
+// RegisterFile maps a host file into the environment without copying it:
+// the file is mmap'd where the platform supports it (read into a buffer
+// otherwise) and registered under name, so chunking it is pointer
+// arithmetic over the mapping. The file must not be modified while the
+// environment is alive (see textio.Mapping's safety contract); Close
+// releases every mapping.
+func (e *Env) RegisterFile(name, path string) error {
+	m, err := textio.MapFile(path)
+	if err != nil {
+		return err
+	}
+	e.u.FS.RegisterMapping(name, m)
+	return nil
+}
+
 // Read returns a registered file's contents.
 func (e *Env) Read(name string) (string, error) { return e.u.FS.Read(name) }
+
+// ReadSeq returns a registered file's shared line index (computed once
+// at ingest; see unix.FS.ReadSeq).
+func (e *Env) ReadSeq(name string) (textio.LineSeq, error) { return e.u.FS.ReadSeq(name) }
+
+// Close releases resources the environment owns — today, the memory
+// mappings behind RegisterFile. Call only once no output or view derived
+// from a mapped file will be used again.
+func (e *Env) Close() error { return e.u.FS.Close() }
 
 // Options re-exports the synthesis tuning knobs, including the engine's
 // Workers (parallel filtering pool), CacheSize (in-memory combiner LRU)
